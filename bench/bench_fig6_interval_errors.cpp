@@ -1,0 +1,67 @@
+// Figure 6: effect of the retransmission timer interval on bandwidth with
+// injected errors at rates 1e-2, 1e-3, 1e-4 (NIC send queue fixed at 32).
+//
+// Paper: the 1 ms timer is the robust choice — at error rate 1e-4 it keeps
+// bandwidth within ~10% of error-free for >= 4 KB messages, while 100 us
+// loses > 18% and 1 s loses > 72% at the same sizes.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "harness/table.hpp"
+#include "sweep_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanfault;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  const std::vector<sim::Duration> intervals = {
+      sim::microseconds(10), sim::microseconds(100), sim::milliseconds(1),
+      sim::milliseconds(10), sim::seconds(1)};
+  const std::vector<std::uint64_t> rates = {100, 1000, 10000};  // 1/err
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{4096, 16384, 65536, 262144, 1048576}
+           : std::vector<std::size_t>{4096, 65536, 1048576};
+
+  std::printf("=== Figure 6: retransmission interval with errors, q=32 ===\n\n");
+
+  for (std::uint64_t rate : rates) {
+    std::printf("--- error rate 1e-%d (drop every %llu packets) ---\n",
+                rate == 100 ? 2 : rate == 1000 ? 3 : 4,
+                static_cast<unsigned long long>(rate));
+    harness::Table t({"Size", "Dir", "No FT(q32)", "10us", "100us", "1ms",
+                      "10ms", "1s"});
+    for (std::size_t bytes : sizes) {
+      benchsweep::PointConfig base;
+      base.msg_bytes = bytes;
+      base.full = full;
+      base.with_ft = false;
+      base.drop_interval = 0;  // the No-FT reference runs error-free
+      auto raw = benchsweep::run_point(base);
+
+      std::vector<benchsweep::PointResult> pts;
+      for (auto iv : intervals) {
+        benchsweep::PointConfig pc = base;
+        pc.with_ft = true;
+        pc.retrans_interval = iv;
+        pc.drop_interval = rate;
+        pts.push_back(benchsweep::run_point(pc));
+      }
+      for (const bool uni : {false, true}) {
+        std::vector<std::string> row{harness::fmt_bytes(bytes),
+                                     uni ? "uni" : "bidi"};
+        row.push_back(harness::fmt(uni ? raw.uni_mbps : raw.bidi_mbps, 1));
+        for (const auto& r : pts) {
+          row.push_back(harness::fmt(uni ? r.uni_mbps : r.bidi_mbps, 1));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference: 1ms stays within ~10%% of error-free at 1e-4 for\n"
+      ">=4KB messages; 100us loses >18%%, 1s loses >72%% at the same sizes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7: effect of the NIC send queue size on bandwidth with no errors
+// (retransmission interval fixed at 1 ms).
+//
+// Paper: only very small queues hurt; any queue size above 8 reaches
+// close-to-maximum bandwidth.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "harness/table.hpp"
+#include "sweep_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sanfault;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  const std::vector<std::size_t> queues = {2, 8, 32, 128};
+  const std::vector<std::size_t> sizes = {4,     64,    1024,   4096,
+                                          16384, 65536, 262144, 1048576};
+
+  std::printf("=== Figure 7: NIC send queue size, no errors, r=1ms ===\n\n");
+
+  std::vector<benchsweep::PointResult> baseline(sizes.size());
+  std::vector<std::vector<benchsweep::PointResult>> grid(sizes.size());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    benchsweep::PointConfig base;
+    base.msg_bytes = sizes[si];
+    base.full = full;
+    base.with_ft = false;
+    base.queue = 32;
+    baseline[si] = benchsweep::run_point(base);
+    for (std::size_t q : queues) {
+      benchsweep::PointConfig pc = base;
+      pc.with_ft = true;
+      pc.queue = q;
+      grid[si].push_back(benchsweep::run_point(pc));
+    }
+  }
+
+  for (const bool uni : {false, true}) {
+    harness::Table t({"Size", "No FT(q32)", "q2", "q8", "q32", "q128"});
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      std::vector<std::string> row{harness::fmt_bytes(sizes[si])};
+      row.push_back(harness::fmt(
+          uni ? baseline[si].uni_mbps : baseline[si].bidi_mbps, 1));
+      for (const auto& r : grid[si]) {
+        row.push_back(harness::fmt(uni ? r.uni_mbps : r.bidi_mbps, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("--- %s bandwidth (MB/s) ---\n",
+                uni ? "Unidirectional" : "Bidirectional");
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("Paper reference: any queue size above 8 is close to maximum.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 3: on-demand dynamic mapping performance — probe-message counts
+// (host vs switch probes) and mapping time as a function of the number of
+// switches between the two nodes, on the Figure-2 evaluation fabric (two
+// 16-port and two 8-port full crossbars in a redundant tree).
+//
+// Methodology follows the paper: the mapper is warm (it knows its own attach
+// port from previous operation), the target's route has just been
+// invalidated, and the first packet exchange triggers the re-mapping. Probe
+// counts grow roughly linearly with distance because of the breadth-first
+// search; absolute values differ from the paper's (different crossbar
+// population), but the shape — host probes dominating, switch probes
+// appearing only past the first switch, millisecond-scale times growing with
+// depth — is the reproduction target.
+#include <cstdio>
+#include <optional>
+
+#include "harness/cluster.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace sanfault;
+using harness::Cluster;
+using harness::ClusterConfig;
+
+struct Row {
+  int hops;
+  std::uint64_t host_probes;
+  std::uint64_t switch_probes;
+  double time_ms;
+};
+
+Row measure(std::size_t target) {
+  ClusterConfig cfg;
+  // Fully populate the fabric (6+12+12+6 hosts), as the paper's testbed
+  // was: empty crossbar ports are what make switch-detection expensive.
+  cfg.num_hosts = 36;
+  cfg.topo = harness::TopoKind::kFigure2;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.mapper = harness::MapperKind::kOnDemand;
+  cfg.preload_routes = false;
+  Cluster c(cfg);
+
+  // Warm-up: a first mapping to the target discovers the mapper's own attach
+  // port and exercises the cold path; then invalidate and re-map — the
+  // steady-state "node re-connected, first packet triggers mapping" cost.
+  bool done = false;
+  c.mapper(4).request_route(c.hosts[target],
+                            [&](std::optional<net::Route>) { done = true; });
+  while (!done && c.sched.step()) {
+  }
+
+  done = false;
+  c.rel(4).routes().invalidate(c.hosts[target]);
+  c.mapper(4).request_route(c.hosts[target],
+                            [&](std::optional<net::Route>) { done = true; });
+  while (!done && c.sched.step()) {
+  }
+
+  const auto& st = c.mapper(4).stats();
+  return Row{0, st.last_host_probes, st.last_switch_probes,
+             sim::to_millis(st.last_mapping_time)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: dynamic (on-demand) mapping performance ===\n\n");
+
+  // Host 4 sits on sw8_a; hosts 0..3 sit on sw8_a, sw16_a, sw16_b, sw8_b:
+  // 1, 2, 3, 4 switches away respectively.
+  const std::size_t targets[] = {0, 1, 2, 3};
+  // The paper's measured values for its fabric, for side-by-side comparison.
+  const int paper_host[] = {28, 53, 83, 113};
+  const int paper_switch[] = {0, 20, 41, 73};
+  const double paper_ms[] = {3.054, 25.855, 48.488, 83.567};
+
+  harness::Table t({"Hops", "Host", "Switch", "Total", "Time(ms)",
+                    "paper:Host", "paper:Switch", "paper:Time(ms)"});
+  for (int i = 0; i < 4; ++i) {
+    Row r = measure(targets[static_cast<std::size_t>(i)]);
+    t.add_row({std::to_string(i + 1), std::to_string(r.host_probes),
+               std::to_string(r.switch_probes),
+               std::to_string(r.host_probes + r.switch_probes),
+               harness::fmt(r.time_ms, 3), std::to_string(paper_host[i]),
+               std::to_string(paper_switch[i]), harness::fmt(paper_ms[i], 3)});
+  }
+  t.print();
+  std::printf(
+      "\nShape targets: probe counts linear in depth (BFS), switch probes 0\n"
+      "at one hop (the own attach port is already known), ms-scale times\n"
+      "growing with distance.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared sweep machinery for the Figure 5-8 benchmarks: measure ping-pong
+// ("bidirectional") and unidirectional bandwidth for one protocol
+// configuration (retransmission interval, send-queue size, injected error
+// rate) at one message size.
+//
+// Stream lengths follow the paper's methodology — "generate enough packets
+// to allow at least ten packets to be dropped at the lower error rate" in
+// --full mode; quick mode scales that down to a few drops so the whole
+// bench suite stays interactive.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "harness/cluster.hpp"
+#include "harness/microbench.hpp"
+
+namespace sanfault::benchsweep {
+
+struct PointConfig {
+  sim::Duration retrans_interval = sim::milliseconds(1);
+  std::size_t queue = 32;
+  std::uint64_t drop_interval = 0;  // 0 = clean; else 1/error-rate
+  std::size_t msg_bytes = 65536;
+  bool full = false;
+  bool with_ft = true;
+};
+
+struct PointResult {
+  double bidi_mbps = 0;
+  double uni_mbps = 0;
+};
+
+inline harness::Cluster make_cluster(const PointConfig& pc) {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = pc.with_ft ? harness::FirmwareKind::kReliable
+                      : harness::FirmwareKind::kRaw;
+  cfg.nic.send_buffers = pc.queue;
+  cfg.rel.retrans_interval = pc.retrans_interval;
+  cfg.rel.drop_interval = pc.drop_interval;
+  // Parameter sweeps visit pathological corners (10 us timers, 1 s stalls);
+  // keep the permanent-failure detector out of the way — the paper's sweeps
+  // had no permanent failures.
+  cfg.rel.fail_threshold = sim::seconds(30);
+  cfg.rel.fail_min_rounds = 1000;
+  return harness::Cluster(cfg);
+}
+
+/// How many messages to stream for one measurement.
+inline int messages_for(const PointConfig& pc) {
+  const std::size_t pkts_per_msg =
+      std::max<std::size_t>(1, (pc.msg_bytes + 4095) / 4096);
+  // Packet budget: enough for >= ~10 (full) / ~2 (quick) drops at this rate.
+  const std::uint64_t want_drops = pc.full ? 10 : 2;
+  std::uint64_t target_packets =
+      std::max<std::uint64_t>(pc.full ? 4000 : 1200,
+                              pc.drop_interval * want_drops + 200);
+  target_packets = std::min<std::uint64_t>(target_packets, pc.full ? 200000 : 25000);
+  const auto msgs = static_cast<int>(
+      std::max<std::uint64_t>(8, target_packets / pkts_per_msg));
+  return std::min(msgs, pc.full ? 40000 : 8000);
+}
+
+inline PointResult run_point(const PointConfig& pc) {
+  PointResult r;
+  {
+    harness::Cluster c = make_cluster(pc);
+    r.bidi_mbps = harness::run_pingpong_bw(c, pc.msg_bytes, messages_for(pc))
+                      .mbytes_per_sec();
+  }
+  {
+    harness::Cluster c = make_cluster(pc);
+    r.uni_mbps =
+        harness::run_unidirectional_bw(c, pc.msg_bytes, messages_for(pc))
+            .mbytes_per_sec();
+  }
+  return r;
+}
+
+}  // namespace sanfault::benchsweep

@@ -1,0 +1,73 @@
+// SVM cluster computing: run the three SPLASH-2 kernels on the paper's
+// 4-node / 8-processor configuration, under a chosen error rate, and print
+// the Figure-9-style execution-time breakdown plus the numerical
+// verification each kernel performs (FFT round-trip, Radix sortedness,
+// Water momentum conservation).
+//
+//   ./build/examples/svm_cluster_compute [drop_interval]
+//   e.g. ./build/examples/svm_cluster_compute 1000   # error rate 1e-3
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/fft.hpp"
+#include "apps/radix.hpp"
+#include "apps/water.hpp"
+#include "harness/cluster.hpp"
+
+using namespace sanfault;
+
+namespace {
+
+harness::Cluster make_cluster(std::uint64_t drop_interval) {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 4;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.rel.drop_interval = drop_interval;
+  cfg.rel.fail_threshold = sim::seconds(30);
+  cfg.rel.fail_min_rounds = 1000;
+  return harness::Cluster(cfg);
+}
+
+void report(const char* name, const apps::AppResult& r) {
+  const auto agg = r.aggregate();
+  std::printf("%-14s verified=%-3s elapsed=%8.2f ms | barrier %7.2f  lock %7.2f  data %8.2f  compute %8.2f (ms, summed over 8 procs)\n",
+              name, r.verified ? "yes" : "NO", sim::to_millis(r.elapsed),
+              sim::to_millis(agg.barrier), sim::to_millis(agg.lock),
+              sim::to_millis(agg.data), sim::to_millis(agg.compute));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t drop =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 0;
+  std::printf("4 nodes x 2 processors over the reliable firmware");
+  if (drop != 0) {
+    std::printf(", dropping every ~%llu-th data packet",
+                static_cast<unsigned long long>(drop));
+  }
+  std::printf("\n\n");
+
+  {
+    harness::Cluster c = make_cluster(drop);
+    apps::FftConfig cfg;
+    cfg.log2_points = 14;
+    cfg.iterations = 2;
+    report("FFT", apps::run_fft(c, cfg));
+  }
+  {
+    harness::Cluster c = make_cluster(drop);
+    apps::RadixConfig cfg;
+    cfg.num_keys = 1 << 16;
+    cfg.iterations = 4;
+    report("RadixLocal", apps::run_radix(c, cfg));
+  }
+  {
+    harness::Cluster c = make_cluster(drop);
+    apps::WaterConfig cfg;
+    cfg.num_molecules = 512;
+    cfg.steps = 3;
+    report("WaterNSquared", apps::run_water(c, cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// SPLASH-2 FFT (six-step, transpose-based), the paper's bandwidth-limited,
+// single-writer application.
+//
+// n = 2^m complex points laid out as a sqrt(n) x sqrt(n) row-major matrix in
+// one shared region; each processor owns a contiguous block of rows (whose
+// pages are homed on its node). One "iteration" is a full unitary FFT pass:
+//   transpose -> per-row 1D FFT -> twiddle -> transpose -> 1D FFT -> transpose
+// Transposes move real complex data through the SVM (remote page fetches +
+// write-backs): the all-to-all traffic that makes FFT bandwidth-bound.
+// Alternating passes run forward/inverse, so after an even number of
+// iterations the data must equal the input — that is the verification.
+#pragma once
+
+#include "apps/workload.hpp"
+#include "harness/cluster.hpp"
+
+namespace sanfault::apps {
+
+struct FftConfig {
+  /// log2 of the number of complex points; must be even. The paper's Table 2
+  /// uses 1M points (log2_points = 20); the default here is bench-sized.
+  unsigned log2_points = 14;
+  /// Full FFT passes. Even counts enable round-trip verification.
+  int iterations = 2;
+  int procs_per_node = 2;
+  svm::SvmConfig svm;
+  /// Flops per radix-2 butterfly (SPLASH counts ~10).
+  double flops_per_butterfly = 10.0;
+};
+
+AppResult run_fft(harness::Cluster& cluster, const FftConfig& cfg);
+
+}  // namespace sanfault::apps

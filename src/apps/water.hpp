@@ -1,0 +1,38 @@
+// SPLASH-2 WaterNSquared: O(n^2) molecular dynamics — the paper's
+// compute-dominated, lock-heavy application (small communication-to-
+// computation ratio, heavy lock synchronization).
+//
+// Each step:
+//   1. every processor reads all positions (one shared region fetch),
+//   2. computes pair forces for its (cyclically distributed) molecules into
+//      a private accumulation buffer                       (dominant compute)
+//   3. merges its contributions into the shared force region under
+//      per-block locks                                     (lock traffic)
+//   4. barrier; block owners integrate velocities/positions and clear
+//      forces; barrier.
+//
+// Pair forces are equal-and-opposite, so with zero initial velocities total
+// momentum stays ~0 — the verification invariant (plus finiteness).
+#pragma once
+
+#include "apps/workload.hpp"
+#include "harness/cluster.hpp"
+
+namespace sanfault::apps {
+
+struct WaterConfig {
+  /// Number of molecules (Table 2 uses 4096; default is bench-sized).
+  std::size_t num_molecules = 512;
+  int steps = 3;
+  /// Molecules per force-lock block (SPLASH locks fine-grained structures).
+  std::size_t lock_block = 64;
+  int procs_per_node = 2;
+  svm::SvmConfig svm;
+  /// Flops charged per pair interaction (distance, force, accumulate).
+  double flops_per_pair = 50.0;
+  double dt = 1e-3;
+};
+
+AppResult run_water(harness::Cluster& cluster, const WaterConfig& cfg);
+
+}  // namespace sanfault::apps

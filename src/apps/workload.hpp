@@ -1,0 +1,54 @@
+// Common scaffolding for the SPLASH-2 application reproductions (§5.1.4).
+//
+// Each application runs its processors as SVM coroutines performing *real*
+// computation on real shared data (so results are verifiable), while compute
+// phases charge simulated time through a cycle model calibrated to the
+// paper's 450 MHz Pentium II hosts. Communication (page fetches, write-backs,
+// locks, barriers) is real traffic through the simulated SAN.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "svm/runtime.hpp"
+#include "svm/timing.hpp"
+
+namespace sanfault::apps {
+
+/// ~2.2 ns per simple ALU/FP operation on a 450 MHz PII.
+inline constexpr double kNsPerOp = 2.2;
+
+inline sim::Duration op_cost(double ops) {
+  return static_cast<sim::Duration>(ops * kNsPerOp);
+}
+
+struct AppResult {
+  bool verified = false;
+  sim::Duration elapsed = 0;
+  std::vector<svm::TimeBreakdown> per_proc;
+
+  [[nodiscard]] svm::TimeBreakdown aggregate() const {
+    svm::TimeBreakdown t;
+    for (const auto& p : per_proc) t += p;
+    return t;
+  }
+};
+
+/// Reinterpret a byte span as typed elements. Region buffers come from
+/// std::vector<uint8_t> (allocator-aligned to max_align_t), which satisfies
+/// the alignment of every element type used here.
+template <typename T>
+std::span<T> as_typed(std::span<std::uint8_t> bytes) {
+  return {reinterpret_cast<T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
+/// Collect per-proc timing after a run.
+inline void collect_times(svm::Runtime& rt, AppResult& out) {
+  out.per_proc.clear();
+  for (int i = 0; i < rt.num_procs(); ++i) {
+    out.per_proc.push_back(rt.proc(i).times());
+  }
+}
+
+}  // namespace sanfault::apps

@@ -1,0 +1,57 @@
+// Sender-based acknowledgment feedback (§4.1.2, third optimization).
+//
+// Each outgoing data packet carries a bit telling the receiver whether to
+// acknowledge immediately. The sender chooses the request frequency from its
+// own free-buffer level, so the trade-off between buffer pressure and ACK
+// traffic is controlled where the pressure is felt:
+//   * scarce buffers  -> request an ACK on every packet,
+//   * moderate        -> request every ~q/8 packets,
+//   * plentiful       -> request every ~q/2 packets.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace sanfault::firmware {
+
+struct AckPolicyConfig {
+  /// Below this fraction of free send buffers, ACK every packet.
+  double low_watermark = 0.25;
+  /// Below this fraction, ACK every q/8 packets; above, every q/2.
+  double high_watermark = 0.75;
+  /// Receiver-side safety valve: force an explicit ACK after this many
+  /// unacknowledged in-order packets even if never requested.
+  std::uint32_t receiver_coalesce_max = 64;
+};
+
+class AckPolicy {
+ public:
+  explicit AckPolicy(AckPolicyConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Decide the ACK-request bit for the next data packet, given current pool
+  /// state. `since_last_request` is per-destination-channel.
+  [[nodiscard]] bool should_request(std::size_t free_buffers,
+                                    std::size_t capacity,
+                                    std::uint32_t since_last_request) const {
+    const auto cap = static_cast<double>(capacity);
+    const double free_frac =
+        capacity == 0 ? 0.0 : static_cast<double>(free_buffers) / cap;
+    std::size_t interval;
+    if (free_frac < cfg_.low_watermark) {
+      interval = 1;
+    } else if (free_frac < cfg_.high_watermark) {
+      interval = std::max<std::size_t>(1, capacity / 8);
+    } else {
+      interval = std::max<std::size_t>(1, capacity / 2);
+    }
+    return since_last_request + 1 >= interval;
+  }
+
+  [[nodiscard]] const AckPolicyConfig& config() const { return cfg_; }
+
+ private:
+  AckPolicyConfig cfg_;
+};
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,55 @@
+// Per-remote-node protocol state (§4.1.1: "sequence numbers and
+// retransmission information are maintained on a per-node basis").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::firmware {
+
+/// One entry of a per-node retransmission queue: the packet as last sent and
+/// when it was last put on the wire (kNever-0 => queued but never sent, e.g.
+/// while a re-mapping is in flight).
+struct QueuedPacket {
+  net::Packet pkt;
+  sim::Time last_sent = 0;
+  bool sent_once = false;
+};
+
+/// Sender side of a node pair.
+struct TxChannel {
+  std::uint32_t next_seq = 1;
+  std::uint16_t generation = 0;
+  std::deque<QueuedPacket> retrans_queue;
+  /// Data packets sent since the last ACK-request bit (sender feedback).
+  std::uint32_t since_ack_request = 0;
+  /// Consecutive retransmission rounds with no cumulative-ACK progress.
+  std::uint32_t rounds_without_progress = 0;
+  /// Last time this path made progress (ack advanced, or the queue went from
+  /// empty to non-empty). Drives the transient/permanent failure threshold.
+  sim::Time last_progress = 0;
+  bool remap_in_flight = false;
+  bool unreachable = false;
+};
+
+/// Receiver side of a node pair.
+struct RxChannel {
+  std::uint32_t expected_seq = 1;  // next in-order sequence number
+  std::uint16_t generation = 0;
+  /// In-order packets accepted since the last ACK we sent (explicit or
+  /// piggy-backed); bounded by the receiver coalesce safety valve.
+  std::uint32_t pending_unacked = 0;
+  /// An explicit ACK was required but no route back existed; it is owed and
+  /// will be sent as soon as on-demand mapping finds the way home.
+  bool ack_owed = false;
+};
+
+/// Wrap-safe "is generation a newer than b".
+[[nodiscard]] constexpr bool generation_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) > 0;
+}
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,31 @@
+// Interface between the reliability firmware and a mapping scheme.
+//
+// The reliability protocol does not care how routes are found — it reports
+// paths it has given up on and asks for a (new) route; probe-type wire
+// packets are forwarded here untouched.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+#include "net/route.hpp"
+
+namespace sanfault::firmware {
+
+class MapperIface {
+ public:
+  virtual ~MapperIface() = default;
+
+  using RouteCallback = std::function<void(std::optional<net::Route>)>;
+
+  /// Discover a route to `dst`, invoking `cb` exactly once when the search
+  /// concludes (nullopt: no path exists / gave up).
+  virtual void request_route(net::HostId dst, RouteCallback cb) = 0;
+
+  /// Probe-type packets received from the wire are handed here.
+  virtual void on_probe_packet(net::Packet pkt) = 0;
+};
+
+}  // namespace sanfault::firmware

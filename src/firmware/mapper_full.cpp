@@ -1,0 +1,55 @@
+#include "firmware/mapper_full.hpp"
+
+namespace sanfault::firmware {
+
+FullMapper::FullMapper(nic::Nic& nic, const net::Topology& topo,
+                       FullMapperConfig cfg)
+    : nic_(nic), topo_(&topo), cfg_(cfg) {}
+
+std::uint64_t FullMapper::probes_for_full_map() const {
+  // BFS over the whole fabric: every switch port is host-probed once and, if
+  // silent, bounce-probed to detect a neighboring crossbar; every host
+  // answers one probe. Two probes per switch port is the classical budget.
+  std::uint64_t ports = 0;
+  for (std::uint32_t s = 0; s < topo_->num_switches(); ++s) {
+    if (topo_->switch_up(net::SwitchId{s})) {
+      ports += topo_->switch_ports(net::SwitchId{s});
+    }
+  }
+  return 2 * ports + topo_->num_hosts();
+}
+
+void FullMapper::request_route(net::HostId dst, RouteCallback cb) {
+  // A request only arrives when something failed: remap the world.
+  waiting_.emplace_back(dst, std::move(cb));
+  if (!remap_running_) start_remap();
+}
+
+void FullMapper::start_remap() {
+  remap_running_ = true;
+  ++stats_.full_maps;
+  const std::uint64_t probes = probes_for_full_map();
+  stats_.modeled_probes += probes;
+  const std::uint64_t pairs = topo_->num_hosts() * (topo_->num_hosts() - 1);
+  const sim::Duration cost =
+      probes * cfg_.per_probe_time + pairs * cfg_.per_route_compute;
+  stats_.last_map_time = cost;
+  stats_.map_time_total += cost;
+  nic_.sched().after(cost, [this] { finish_remap(); });
+}
+
+void FullMapper::finish_remap() {
+  routing_ = std::make_unique<UpDownRouting>(*topo_);
+  remap_running_ = false;
+  auto waiting = std::move(waiting_);
+  waiting_.clear();
+  for (auto& [dst, cb] : waiting) {
+    auto r = routing_->route(nic_.self(), dst);
+    r ? ++stats_.routes_served : ++stats_.routes_unavailable;
+    cb(std::move(r));
+  }
+  // Requests that raced in during the callbacks trigger a fresh remap.
+  if (!waiting_.empty()) start_remap();
+}
+
+}  // namespace sanfault::firmware

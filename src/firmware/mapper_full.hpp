@@ -1,0 +1,69 @@
+// FullMapper: the full-network-mapping baseline (§2, [6][28][22]).
+//
+// Models the conventional scheme the paper argues against: when a route is
+// needed after a failure, the *entire* fabric is re-probed (breadth-first
+// over every switch port), a spanning tree is formed, and deadlock-free
+// UP*/DOWN* routes are computed for all pairs. The probe traffic and time are
+// charged against the simulated clock; the resulting routes come from the
+// real UpDownRouting computation over the live topology.
+//
+// Requests that arrive while a remap is running are served from that remap
+// when it completes (batching), which is the best case for this baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "firmware/mapper.hpp"
+#include "firmware/updown.hpp"
+#include "nic/nic.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::firmware {
+
+struct FullMapperConfig {
+  /// Average cost of one mapping probe exchange (send + reply/timeout).
+  sim::Duration per_probe_time = sim::microseconds(150);
+  /// Per-pair UP*/DOWN* route computation cost on the mapping host.
+  sim::Duration per_route_compute = sim::microseconds(5);
+};
+
+struct FullMapperStats {
+  std::uint64_t full_maps = 0;
+  std::uint64_t modeled_probes = 0;
+  sim::Duration map_time_total = 0;
+  sim::Duration last_map_time = 0;
+  std::uint64_t routes_served = 0;
+  std::uint64_t routes_unavailable = 0;
+};
+
+class FullMapper final : public MapperIface {
+ public:
+  FullMapper(nic::Nic& nic, const net::Topology& topo,
+             FullMapperConfig cfg = {});
+
+  void request_route(net::HostId dst, RouteCallback cb) override;
+  /// The full mapper's probes are abstracted into the time model; stray
+  /// probe packets (from on-demand peers) are ignored.
+  void on_probe_packet(net::Packet) override {}
+
+  [[nodiscard]] const FullMapperStats& stats() const { return stats_; }
+
+  /// Number of probes a full BFS map of the current fabric costs.
+  [[nodiscard]] std::uint64_t probes_for_full_map() const;
+
+ private:
+  void start_remap();
+  void finish_remap();
+
+  nic::Nic& nic_;
+  const net::Topology* topo_;
+  FullMapperConfig cfg_;
+  FullMapperStats stats_;
+  std::unique_ptr<UpDownRouting> routing_;
+  bool remap_running_ = false;
+  std::vector<std::pair<net::HostId, RouteCallback>> waiting_;
+};
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,325 @@
+#include "firmware/mapper_ondemand.hpp"
+
+#include <algorithm>
+
+namespace sanfault::firmware {
+
+using net::HostId;
+using net::Packet;
+using net::PacketType;
+using net::Route;
+
+namespace {
+
+/// Outcome of one probe (after retries).
+struct ProbeResult {
+  bool replied = false;
+  HostId replier;
+};
+
+}  // namespace
+
+OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)
+    : nic_(nic), cfg_(cfg) {}
+
+std::uint8_t OnDemandMapper::radix_of(const Route& forward) const {
+  if (cfg_.radix_oracle != nullptr) {
+    auto dev = cfg_.radix_oracle->device_after(nic_.self(), forward);
+    if (dev && dev->is_switch()) {
+      return cfg_.radix_oracle->switch_ports(dev->as_switch());
+    }
+  }
+  return cfg_.max_ports;
+}
+
+void OnDemandMapper::flush_cache() {
+  attach_port_.reset();
+  host_cache_.clear();
+}
+
+void OnDemandMapper::request_route(HostId dst, RouteCallback cb) {
+  // Merge into the mapping currently running for the same destination...
+  if (active_dst_ && *active_dst_ == dst && active_cbs_ != nullptr) {
+    active_cbs_->push_back(std::move(cb));
+    return;
+  }
+  // ...or into a queued one.
+  for (auto& pr : queue_) {
+    if (pr.dst == dst) {
+      pr.cbs.push_back(std::move(cb));
+      return;
+    }
+  }
+  queue_.push_back(PendingRequest{dst, {}});
+  queue_.back().cbs.push_back(std::move(cb));
+  if (!mapping_active_) {
+    mapping_active_ = true;
+    drive();
+  }
+}
+
+void OnDemandMapper::inject_probe(Packet pkt) {
+  // Probes use a small dedicated SRAM buffer (they never touch the send
+  // pool) and one firmware dispatch on the control processor.
+  nic_.cpu().submit(nic_.costs().probe_process,
+                    [this, pkt = std::move(pkt)]() mutable {
+                      nic_.inject(std::move(pkt));
+                    });
+}
+
+void OnDemandMapper::on_probe_packet(Packet pkt) {
+  auto& sched = nic_.sched();
+  switch (pkt.hdr.type) {
+    case PacketType::kProbeHost: {
+      if (pkt.hdr.src == nic_.self()) return;  // our own probe looped home
+      // Answer: "a host lives here" — routed back along the reverse of the
+      // path the probe took.
+      ++stats_.probe_replies_tx;
+      Packet rep;
+      rep.hdr.type = PacketType::kProbeReply;
+      rep.hdr.src = nic_.self();
+      rep.hdr.dst = pkt.hdr.src;
+      rep.hdr.user.w0 = pkt.hdr.user.w0;  // nonce
+      rep.hdr.user.w1 = nic_.self().v;
+      rep.hdr.route.ports.assign(pkt.in_ports.rbegin(), pkt.in_ports.rend());
+      inject_probe(std::move(rep));
+      return;
+    }
+    case PacketType::kProbeSwitch: {
+      // A bounce probe only means something to its own sender.
+      if (pkt.hdr.src != nic_.self()) return;
+      auto it = inflight_.find(pkt.hdr.user.w0);
+      if (it == inflight_.end() || it->second->replied) return;
+      it->second->replied = true;
+      it->second->replier = nic_.self();
+      it->second->done.fire(sched);
+      return;
+    }
+    case PacketType::kProbeReply: {
+      ++stats_.probe_replies_rx;
+      auto it = inflight_.find(pkt.hdr.user.w0);
+      if (it == inflight_.end() || it->second->replied) return;
+      it->second->replied = true;
+      it->second->replier = HostId{static_cast<std::uint32_t>(pkt.hdr.user.w1)};
+      it->second->done.fire(sched);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Send one probe of `type` down `route`, wait for reply or timeout,
+/// retrying per config.
+sim::Task<bool> OnDemandMapper::probe_and_wait_impl(PacketType type,
+                                                    Route route,
+                                                    HostId* replier) {
+  auto& sched = nic_.sched();
+  for (int attempt = 0; attempt <= cfg_.probe_retries; ++attempt) {
+    ProbeWait w;
+    w.nonce = next_nonce_++;
+    inflight_[w.nonce] = &w;
+
+    Packet pkt;
+    pkt.hdr.type = type;
+    pkt.hdr.src = nic_.self();
+    pkt.hdr.route = route;
+    pkt.hdr.user.w0 = w.nonce;
+    if (type == PacketType::kProbeHost) {
+      ++stats_.host_probes_tx;
+    } else {
+      ++stats_.switch_probes_tx;
+    }
+    inject_probe(std::move(pkt));
+
+    const std::uint64_t nonce = w.nonce;
+    sched.after(cfg_.probe_timeout, [this, nonce, &sched] {
+      auto it = inflight_.find(nonce);
+      if (it != inflight_.end() && !it->second->replied) {
+        it->second->done.fire(sched);
+      }
+    });
+    co_await w.done.wait(sched);
+    inflight_.erase(w.nonce);
+    if (w.replied) {
+      if (replier != nullptr) *replier = w.replier;
+      co_return true;
+    }
+    ++stats_.probe_timeouts;
+  }
+  co_return false;
+}
+
+sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
+                                                    std::uint64_t* probes_used) {
+  auto over_budget = [&] { return *probes_used >= cfg_.max_probes; };
+  auto count_probe = [&] { ++*probes_used; };
+
+  if (cfg_.cache_discovered_hosts) {
+    auto it = host_cache_.find(dst);
+    if (it != host_cache_.end()) co_return it->second;
+  }
+
+  // --- level -1: what hangs off our own cable? -----------------------------
+  // NOTE: all probe routes below are built as named locals; GCC 12 miscompiles
+  // braced aggregate temporaries inside co_await arguments ("array used as
+  // initializer").
+  if (!attach_port_) {
+    // A direct host-to-host cable first.
+    HostId replier;
+    count_probe();
+    Route empty_route;
+    if (co_await probe_and_wait_impl(PacketType::kProbeHost, empty_route,
+                                     &replier)) {
+      if (cfg_.cache_discovered_hosts) host_cache_[replier] = Route{};
+      if (replier == dst) co_return Route{};
+      co_return std::nullopt;  // point-to-point cable; nothing else out there
+    }
+    // Otherwise find which port of the first crossbar we hang off: bounce
+    // probes until one comes straight back.
+    for (std::uint8_t y = 0; y < cfg_.max_ports; ++y) {
+      if (over_budget()) co_return std::nullopt;
+      count_probe();
+      Route bounce;
+      bounce.ports.push_back(y);
+      if (co_await probe_and_wait_impl(PacketType::kProbeSwitch,
+                                       std::move(bounce), nullptr)) {
+        attach_port_ = y;
+        break;
+      }
+    }
+    if (!attach_port_) co_return std::nullopt;  // dead cable
+  }
+
+  // --- BFS over crossbars, level by level ----------------------------------
+  std::vector<KnownSwitch> frontier{KnownSwitch{
+      Route{}, {*attach_port_}, *attach_port_, radix_of(Route{})}};
+  // Every switch discovered so far (crossbars have no identity; `known` is
+  // what the duplicate-detection probes compare against).
+  std::vector<KnownSwitch> known = frontier;
+
+  for (std::size_t depth = 0; depth < cfg_.max_depth && !frontier.empty();
+       ++depth) {
+    // (a) Host-probe every unexplored port of every frontier switch. The
+    // search stops the moment the destination answers, which is what makes
+    // same-switch mappings host-probe-only (Table 3, row 1).
+    struct SilentPort {
+      std::size_t sw;
+      std::uint8_t port;
+    };
+    std::vector<SilentPort> silent;
+    for (std::size_t s = 0; s < frontier.size(); ++s) {
+      const KnownSwitch& sw = frontier[s];
+      for (std::uint8_t p = 0; p < sw.radix; ++p) {
+        if (p == sw.entry_port) continue;
+        if (over_budget()) co_return std::nullopt;
+        Route hr = sw.forward;
+        hr.ports.push_back(p);
+        HostId replier;
+        count_probe();
+        if (co_await probe_and_wait_impl(PacketType::kProbeHost, hr, &replier)) {
+          if (cfg_.cache_discovered_hosts &&
+              !host_cache_.contains(replier)) {
+            host_cache_[replier] = hr;
+          }
+          if (replier == dst) co_return hr;
+        } else {
+          silent.push_back({s, p});
+        }
+      }
+    }
+
+    // (b) Identify what sits behind each silent port.
+    //
+    // First, duplicate detection ("distinguishing new switches from old
+    // ones", Table 3): if an already-known crossbar K is behind the port,
+    // then routing through the port and down K's known way home brings the
+    // probe back — one probe per comparison, no radix-sized guessing, and
+    // redundant links / back-edges stop spawning re-exploration.
+    //
+    // Only genuinely new crossbars then pay the bounce-guessing of their
+    // entry port (up to max_ports tries).
+    std::vector<KnownSwitch> next;
+    for (const SilentPort& sp : silent) {
+      const KnownSwitch& sw = frontier[sp.sw];
+      bool duplicate = false;
+      for (const KnownSwitch& k : known) {
+        if (over_budget()) co_return std::nullopt;
+        Route vr = sw.forward;
+        vr.ports.push_back(sp.port);
+        vr.ports.insert(vr.ports.end(), k.reverse.begin(), k.reverse.end());
+        count_probe();
+        if (co_await probe_and_wait_impl(PacketType::kProbeSwitch, vr,
+                                         nullptr)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      Route nf = sw.forward;
+      nf.ports.push_back(sp.port);
+      const std::uint8_t guess_bound = radix_of(nf);
+      for (std::uint8_t y = 0; y < guess_bound; ++y) {
+        if (over_budget()) co_return std::nullopt;
+        Route br = sw.forward;
+        br.ports.push_back(sp.port);
+        br.ports.push_back(y);
+        br.ports.insert(br.ports.end(), sw.reverse.begin(), sw.reverse.end());
+        count_probe();
+        if (co_await probe_and_wait_impl(PacketType::kProbeSwitch, br,
+                                         nullptr)) {
+          KnownSwitch ns;
+          ns.forward = nf;
+          ns.entry_port = y;
+          ns.radix = guess_bound;
+          ns.reverse.push_back(y);
+          ns.reverse.insert(ns.reverse.end(), sw.reverse.begin(),
+                            sw.reverse.end());
+          known.push_back(ns);
+          next.push_back(std::move(ns));
+          break;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  co_return std::nullopt;
+}
+
+sim::Process OnDemandMapper::drive() {
+  auto& sched = nic_.sched();
+  while (!queue_.empty()) {
+    PendingRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.mappings_started;
+
+    // A request means any previously known route to dst is dead.
+    host_cache_.erase(req.dst);
+
+    const sim::Time t0 = sched.now();
+    const std::uint64_t h0 = stats_.host_probes_tx;
+    const std::uint64_t s0 = stats_.switch_probes_tx;
+    std::uint64_t probes_used = 0;
+    active_dst_ = req.dst;
+    active_cbs_ = &req.cbs;
+    std::optional<Route> result = co_await bfs(req.dst, &probes_used);
+    active_dst_.reset();
+    active_cbs_ = nullptr;
+
+    stats_.last_mapping_time = sched.now() - t0;
+    stats_.mapping_time_total += stats_.last_mapping_time;
+    stats_.last_host_probes = stats_.host_probes_tx - h0;
+    stats_.last_switch_probes = stats_.switch_probes_tx - s0;
+    if (result) {
+      ++stats_.mappings_succeeded;
+      if (cfg_.cache_discovered_hosts) host_cache_[req.dst] = *result;
+    } else {
+      ++stats_.mappings_failed;
+    }
+    for (auto& cb : req.cbs) cb(result);
+  }
+  mapping_active_ = false;
+}
+
+}  // namespace sanfault::firmware

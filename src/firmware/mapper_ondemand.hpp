@@ -1,0 +1,156 @@
+// On-demand network mapper (§4.2): the paper's second contribution.
+//
+// Instead of computing full network maps and deadlock-free UP*/DOWN* routes,
+// each NIC lazily BFS-probes the fabric only when it needs a route — at first
+// contact with a node, or after the reliability protocol declares a path
+// permanently failed. The discovered routes are shortest paths and are *not*
+// deadlock-free; deadlock recovery is the retransmission protocol's job.
+//
+// Probe vocabulary (Table 3's two columns):
+//  * host probe   — a kProbeHost packet source-routed down a candidate path;
+//    if a host sits at its end, that host's mapper replies along the reverse
+//    route. No reply within probe_timeout => no host there.
+//  * switch probe — a loop-back (bounce) kProbeSwitch packet: route
+//    prefix + [port-under-test, guessed-return-port] + known-way-home. It
+//    returns to the prober iff a crossbar sits behind the port and the guess
+//    hit the port the packet entered through. Myrinet switches have no
+//    identity, so discovering one costs up to radix guesses.
+//
+// The BFS explores level-by-level and *stops as soon as the destination
+// answers*, which is why mapping a same-switch neighbor needs host probes
+// only (Table 3, row 1). Probes bypass the send-buffer pool and the
+// reliability channels entirely (they are firmware-internal traffic).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "firmware/mapper.hpp"
+#include "nic/nic.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace sanfault::firmware {
+
+struct OnDemandMapperConfig {
+  /// How long to wait for a probe reply before concluding "nothing there".
+  sim::Duration probe_timeout = sim::microseconds(300);
+  /// Extra attempts per probe (probes themselves can be lost to faults).
+  int probe_retries = 1;
+  /// Upper bound on crossbar radix: ports 0..max_ports-1 are candidates
+  /// when the radix of a discovered switch is unknown.
+  std::uint8_t max_ports = 16;
+  /// Optional "the operator knows the switch models" knowledge: when set,
+  /// the mapper reads the actual radix of a discovered crossbar from the
+  /// topology instead of probing max_ports ports on every switch. This is
+  /// how deployed Myrinet mappers behaved (switch types were configured);
+  /// emptiness of in-radix ports is still discovered by probing.
+  const net::Topology* radix_oracle = nullptr;
+  /// BFS depth bound (switches traversed). Redundant fabrics make switches
+  /// re-discoverable through parallel paths — switches have no identity — so
+  /// the search must be bounded to terminate on cyclic topologies.
+  std::size_t max_depth = 6;
+  /// Hard cap on probes per mapping (runaway guard on unreachable targets).
+  std::size_t max_probes = 4096;
+  /// Remember hosts discovered during previous mappings. A re-request for a
+  /// host always re-probes (its cached route just failed), but other hosts
+  /// found along the way stay cached.
+  bool cache_discovered_hosts = true;
+};
+
+struct OnDemandMapperStats {
+  std::uint64_t mappings_started = 0;
+  std::uint64_t mappings_succeeded = 0;
+  std::uint64_t mappings_failed = 0;
+  std::uint64_t host_probes_tx = 0;
+  std::uint64_t switch_probes_tx = 0;
+  std::uint64_t probe_replies_tx = 0;   // this NIC answering others' probes
+  std::uint64_t probe_replies_rx = 0;
+  std::uint64_t probe_timeouts = 0;
+  /// Total simulated time spent inside mapping runs.
+  sim::Duration mapping_time_total = 0;
+  /// Duration and probe counts of the most recent completed mapping.
+  sim::Duration last_mapping_time = 0;
+  std::uint64_t last_host_probes = 0;
+  std::uint64_t last_switch_probes = 0;
+};
+
+class OnDemandMapper final : public MapperIface {
+ public:
+  OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg = {});
+
+  // --- MapperIface ---------------------------------------------------------
+  void request_route(net::HostId dst, RouteCallback cb) override;
+  void on_probe_packet(net::Packet pkt) override;
+
+  [[nodiscard]] const OnDemandMapperStats& stats() const { return stats_; }
+
+  /// Drop all cached discovery state (e.g. the operator knows the fabric
+  /// changed wholesale).
+  void flush_cache();
+
+ private:
+  /// A discovered crossbar: how to reach it and how its packets reach us.
+  struct KnownSwitch {
+    net::Route forward;                  // bytes from us to (into) the switch
+    std::vector<std::uint8_t> reverse;   // bytes from the switch back to us
+    std::uint8_t entry_port = 0;         // port we enter it through
+    std::uint8_t radix = 16;             // ports to probe on it
+  };
+
+  /// Radix of the crossbar at the end of `forward` (oracle or max_ports).
+  [[nodiscard]] std::uint8_t radix_of(const net::Route& forward) const;
+
+  struct PendingRequest {
+    net::HostId dst;
+    std::vector<RouteCallback> cbs;
+  };
+
+  /// One probe in flight; replies are matched by nonce.
+  struct ProbeWait {
+    std::uint64_t nonce = 0;
+    bool replied = false;
+    net::HostId replier;
+    sim::Trigger done;
+  };
+
+  /// Drains the request queue, one BFS at a time (FIFO).
+  sim::Process drive();
+
+  /// Core BFS for one destination; counts probes against the budget.
+  sim::Task<std::optional<net::Route>> bfs(net::HostId dst,
+                                           std::uint64_t* probes_used);
+
+  /// Send one probe and await reply-or-timeout (with retries). Returns true
+  /// on reply; for host probes *replier is set to the answering host.
+  sim::Task<bool> probe_and_wait_impl(net::PacketType type, net::Route route,
+                                      net::HostId* replier);
+
+  void inject_probe(net::Packet pkt);
+
+  nic::Nic& nic_;
+  OnDemandMapperConfig cfg_;
+  OnDemandMapperStats stats_;
+
+  std::deque<PendingRequest> queue_;
+  bool mapping_active_ = false;
+  /// Destination of the BFS currently in flight (for request merging).
+  std::optional<net::HostId> active_dst_;
+  std::vector<RouteCallback>* active_cbs_ = nullptr;
+
+  /// Nonce -> in-flight probe bookkeeping.
+  std::unordered_map<std::uint64_t, ProbeWait*> inflight_;
+  std::uint64_t next_nonce_ = 1;
+
+  /// Cached: port of our first-hop switch we attach to (rediscovered when a
+  /// mapping that relied on it fails at level 0).
+  std::optional<std::uint8_t> attach_port_;
+  /// Hosts discovered during any mapping: host -> route.
+  std::unordered_map<net::HostId, net::Route> host_cache_;
+};
+
+}  // namespace sanfault::firmware

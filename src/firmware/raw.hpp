@@ -1,0 +1,75 @@
+// RawFirmware: the "No Fault Tolerance" baseline MCP.
+//
+// Unreliable delivery exactly as base VMMC provides it: packets are injected
+// with no sequence numbers, the send buffer is recycled the moment the packet
+// is on the wire, corrupt packets are silently discarded at the receiver, and
+// lost packets are simply lost. Every paper figure's "No Fault Tolerance"
+// series runs on this firmware.
+#pragma once
+
+#include <cstdint>
+
+#include "firmware/route_table.hpp"
+#include "nic/nic.hpp"
+
+namespace sanfault::firmware {
+
+struct RawStats {
+  std::uint64_t data_tx = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t corrupt_dropped = 0;
+  std::uint64_t no_route_dropped = 0;
+};
+
+class RawFirmware final : public nic::FirmwareIface {
+ public:
+  explicit RawFirmware(nic::Nic& nic) : nic_(nic) {
+    nic_.load_firmware(this);
+  }
+
+  [[nodiscard]] RouteTable& routes() { return routes_; }
+  [[nodiscard]] const RawStats& stats() const { return stats_; }
+
+  void on_host_packet(nic::SendRequest req) override {
+    const auto route = routes_.get(req.dst);
+    if (!route) {
+      ++stats_.no_route_dropped;
+      nic_.release_send_buffers();
+      return;
+    }
+    net::Packet pkt;
+    pkt.hdr.src = nic_.self();
+    pkt.hdr.dst = req.dst;
+    pkt.hdr.type = req.type;
+    pkt.hdr.route = *route;
+    pkt.hdr.user = req.user;
+    pkt.payload = std::move(req.payload);
+    ++stats_.data_tx;
+    nic_.inject(std::move(pkt));
+    // Unreliable: the buffer returns to the free queue immediately.
+    nic_.release_send_buffers();
+  }
+
+  void on_wire_packet(net::Packet pkt, bool crc_ok) override {
+    if (!crc_ok) {
+      ++stats_.corrupt_dropped;
+      return;
+    }
+    ++stats_.delivered;
+    nic_.deliver_to_host(std::move(pkt));
+  }
+
+  [[nodiscard]] sim::Duration tx_cpu_cost(const nic::SendRequest&) const override {
+    return nic_.costs().mcp_tx;
+  }
+  [[nodiscard]] sim::Duration rx_cpu_cost(const net::Packet&) const override {
+    return nic_.costs().mcp_rx;
+  }
+
+ private:
+  nic::Nic& nic_;
+  RouteTable routes_;
+  RawStats stats_;
+};
+
+}  // namespace sanfault::firmware

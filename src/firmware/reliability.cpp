@@ -1,0 +1,468 @@
+#include "firmware/reliability.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sanfault::firmware {
+
+using net::HostId;
+using net::Packet;
+using net::PacketType;
+
+ReliableFirmware::ReliableFirmware(nic::Nic& nic, ReliabilityConfig cfg)
+    : nic_(nic),
+      cfg_(cfg),
+      policy_(cfg.ack),
+      next_drop_in_(cfg.drop_interval),
+      drop_rng_(cfg.drop_seed ^ (nic.self().v * 0x9e3779b97f4a7c15ull)) {
+  nic_.load_firmware(this);
+  arm_timer();
+}
+
+bool ReliableFirmware::should_drop_now() {
+  if (cfg_.drop_interval == 0) return false;
+  if (burst_left_ > 0) {
+    --burst_left_;
+    ++stats_.injected_drops;
+    return true;
+  }
+  if (--next_drop_in_ > 0) return false;
+  // Re-arm with +-25% jitter, at least +-1 (see
+  // ReliabilityConfig::drop_interval — with zero jitter a tiny interval can
+  // phase-lock with a same-sized go-back-N round and starve one packet).
+  const std::uint64_t n = cfg_.drop_interval;
+  const std::uint64_t jit = n >= 2 ? std::max<std::uint64_t>(1, n / 4) : 0;
+  next_drop_in_ = n - jit + (jit != 0 ? drop_rng_.uniform(2 * jit + 1) : 0);
+  if (next_drop_in_ == 0) next_drop_in_ = 1;
+  if (cfg_.drop_burst > 1) burst_left_ = cfg_.drop_burst - 1;
+  ++stats_.injected_drops;
+  return true;
+}
+
+const TxChannel* ReliableFirmware::tx_channel(HostId h) const {
+  auto it = tx_.find(h);
+  return it == tx_.end() ? nullptr : &it->second;
+}
+
+const RxChannel* ReliableFirmware::rx_channel(HostId h) const {
+  auto it = rx_.find(h);
+  return it == rx_.end() ? nullptr : &it->second;
+}
+
+sim::Duration ReliableFirmware::tx_cpu_cost(const nic::SendRequest&) const {
+  return nic_.costs().mcp_tx + nic_.costs().mcp_tx_reliable;
+}
+
+sim::Duration ReliableFirmware::rx_cpu_cost(const Packet& pkt) const {
+  switch (pkt.hdr.type) {
+    case PacketType::kAck:
+      return nic_.costs().mcp_ack_process;
+    case PacketType::kProbeHost:
+    case PacketType::kProbeSwitch:
+    case PacketType::kProbeReply:
+      return nic_.costs().probe_process;
+    default:
+      return nic_.costs().mcp_rx + nic_.costs().mcp_rx_reliable;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void ReliableFirmware::on_host_packet(nic::SendRequest req) {
+  const HostId dst = req.dst;
+  TxChannel& ch = tx(dst);
+
+  if (ch.unreachable) {
+    if (mapper_ == nullptr) {
+      ++stats_.unreachable_drops;
+      nic_.release_send_buffers();
+      return;
+    }
+    // A send to an unreachable node retries discovery: the node may have
+    // been re-attached elsewhere (dynamic reconfiguration, §4.2).
+    ch.unreachable = false;
+  }
+
+  // Build the packet. Sequence numbers are assigned here so retransmission
+  // order equals submission order.
+  Packet pkt;
+  pkt.hdr.src = nic_.self();
+  pkt.hdr.dst = dst;
+  pkt.hdr.type = req.type;
+  pkt.hdr.user = req.user;
+  pkt.payload = std::move(req.payload);
+  pkt.hdr.seq = ch.next_seq++;
+  pkt.hdr.generation = ch.generation;
+
+  // Piggy-back the cumulative ACK for the reverse direction on every data
+  // packet (§4.1.2, first optimization).
+  RxChannel& rxch = rx(dst);
+  pkt.hdr.ack = rxch.expected_seq - 1;
+  pkt.hdr.ack_gen = rxch.generation;
+  pkt.hdr.flags |= net::kFlagPiggyAck;
+  rxch.pending_unacked = 0;
+
+  // Sender-based ACK-frequency feedback (§4.1.2, third optimization).
+  if (policy_.should_request(nic_.send_pool().free_count(),
+                             nic_.send_pool().capacity(),
+                             ch.since_ack_request)) {
+    pkt.hdr.flags |= net::kFlagAckRequest;
+    ch.since_ack_request = 0;
+  } else {
+    ++ch.since_ack_request;
+  }
+
+  if (ch.retrans_queue.empty()) ch.last_progress = nic_.sched().now();
+
+  const auto route = routes_.get(dst);
+  if (!route) {
+    // No route known. Park the packet (it already owns its send buffer) and
+    // discover one on demand.
+    ch.retrans_queue.push_back(QueuedPacket{std::move(pkt), 0, false});
+    if (mapper_ == nullptr) {
+      // Without a mapper this is a hard error: drop and recycle.
+      ch.retrans_queue.pop_back();
+      ++stats_.no_route_drops;
+      nic_.release_send_buffers();
+      return;
+    }
+    begin_remap(dst, ch);
+    return;
+  }
+
+  pkt.hdr.route = *route;
+  ch.retrans_queue.push_back(QueuedPacket{std::move(pkt), 0, false});
+  QueuedPacket& qp = ch.retrans_queue.back();
+  ++stats_.data_tx;
+  put_on_wire(dst, qp, /*is_retransmit=*/false);
+}
+
+void ReliableFirmware::put_on_wire(HostId /*h*/, QueuedPacket& qp,
+                                   bool is_retransmit) {
+  qp.sent_once = true;
+  // §5.1.3 error injection: every ~Nth data packet is "inserted in the
+  // retransmission queue without actually transmitting it onto the network".
+  if (should_drop_now()) {
+    qp.last_sent = nic_.sched().now();
+    return;
+  }
+  if (is_retransmit) ++stats_.retransmissions;
+  // Stamp with the send-DMA completion time: the retransmission timer then
+  // measures "unacknowledged since it actually left", which self-clocks the
+  // protocol to wire drainage under load.
+  qp.last_sent = nic_.inject(qp.pkt);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void ReliableFirmware::on_wire_packet(Packet pkt, bool crc_ok) {
+  if (!crc_ok) {
+    // Corrupt contents cannot be trusted — not even the ACK fields.
+    ++stats_.corrupt_drops;
+    return;
+  }
+  switch (pkt.hdr.type) {
+    case PacketType::kAck:
+      ++stats_.acks_rx;
+      process_ack(pkt.hdr.src, pkt.hdr.ack, pkt.hdr.ack_gen);
+      return;
+    case PacketType::kProbeHost:
+    case PacketType::kProbeSwitch:
+    case PacketType::kProbeReply:
+      if (mapper_ != nullptr) mapper_->on_probe_packet(std::move(pkt));
+      return;
+    default:
+      handle_data(std::move(pkt));
+      return;
+  }
+}
+
+void ReliableFirmware::handle_data(Packet pkt) {
+  const HostId src = pkt.hdr.src;
+  RxChannel& rxch = rx(src);
+
+  if (pkt.hdr.generation != rxch.generation) {
+    if (generation_newer(pkt.hdr.generation, rxch.generation)) {
+      // The sender re-mapped and restarted its sequence space (§4.2).
+      rxch.generation = pkt.hdr.generation;
+      rxch.expected_seq = 1;
+      rxch.pending_unacked = 0;
+    } else {
+      ++stats_.stale_gen_drops;
+      return;
+    }
+  }
+
+  if (pkt.hdr.flags & net::kFlagPiggyAck) {
+    process_ack(src, pkt.hdr.ack, pkt.hdr.ack_gen);
+  }
+
+  const bool ack_requested = (pkt.hdr.flags & net::kFlagAckRequest) != 0;
+  // ACKs can always be routed along the reverse of the path the data packet
+  // just took (links are full duplex), even before any route to `src` has
+  // been mapped — the same mechanism probe replies use.
+  net::Route back;
+  back.ports.assign(pkt.in_ports.rbegin(), pkt.in_ports.rend());
+
+  if (pkt.hdr.seq == rxch.expected_seq) {
+    ++rxch.expected_seq;
+    ++rxch.pending_unacked;
+    ++stats_.data_rx_in_order;
+    const bool force_ack =
+        rxch.pending_unacked >= policy_.config().receiver_coalesce_max;
+    nic_.deliver_to_host(std::move(pkt));
+    if (ack_requested || force_ack) send_explicit_ack(src, std::move(back));
+  } else if (pkt.hdr.seq < rxch.expected_seq) {
+    // Duplicate (our ACK was probably lost). Re-ACK when asked so the
+    // sender stops retransmitting.
+    ++stats_.dup_drops;
+    if (ack_requested) send_explicit_ack(src, std::move(back));
+  } else {
+    // Gap: go-back-N receivers drop everything until the expected sequence
+    // number arrives (a simple dequeue, no buffering).
+    ++stats_.ooo_drops;
+    if (ack_requested) send_explicit_ack(src, std::move(back));
+  }
+}
+
+void ReliableFirmware::process_ack(HostId from, std::uint32_t ack,
+                                   std::uint16_t ack_gen) {
+  TxChannel& ch = tx(from);
+  if (ack_gen != ch.generation) return;  // stale generation
+  std::size_t freed = 0;
+  auto& q = ch.retrans_queue;
+  while (!q.empty() && q.front().pkt.hdr.seq <= ack) {
+    q.pop_front();
+    ++freed;
+  }
+  if (freed > 0) {
+    // One cumulative ACK frees a whole prefix — "a single operation".
+    nic_.release_send_buffers(freed);
+    ch.rounds_without_progress = 0;
+    ch.last_progress = nic_.sched().now();
+  }
+}
+
+void ReliableFirmware::send_explicit_ack(HostId to,
+                                         std::optional<net::Route> reverse_hint) {
+  // Prefer the reverse of the path the triggering packet just took: it is
+  // known-good as of right now, whereas the table route may be the very
+  // path whose failure caused the sender to retransmit (links are full
+  // duplex, so the reverse direction works iff the forward one did).
+  auto route = std::move(reverse_hint);
+  if (!route) route = routes_.get(to);
+  if (!route) {
+    // Needing to ACK *is* needing to communicate: trigger on-demand mapping
+    // (§4.2) and send the ACK once a route home exists. Without a mapper the
+    // peer's retransmission timer carries the cost until routes appear.
+    if (mapper_ != nullptr) {
+      rx(to).ack_owed = true;
+      begin_remap(to, tx(to));
+    }
+    return;
+  }
+  nic_.cpu().submit(nic_.costs().mcp_ack_build, [this, to, route = *route] {
+    RxChannel& rxch = rx(to);
+    Packet a;
+    a.hdr.src = nic_.self();
+    a.hdr.dst = to;
+    a.hdr.type = PacketType::kAck;
+    a.hdr.ack = rxch.expected_seq - 1;
+    a.hdr.ack_gen = rxch.generation;
+    a.hdr.route = route;
+    rxch.pending_unacked = 0;
+    ++stats_.acks_explicit_tx;
+    nic_.inject(std::move(a));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission timer (one per NIC, §4.1.1)
+// ---------------------------------------------------------------------------
+
+void ReliableFirmware::arm_timer() {
+  nic_.sched().after(cfg_.retrans_interval, [this] { on_timer(); });
+}
+
+void ReliableFirmware::on_timer() {
+  ++stats_.timer_fires;
+
+  std::size_t non_empty = 0;
+  for (const auto& [h, ch] : tx_) {
+    if (!ch.retrans_queue.empty()) ++non_empty;
+  }
+  const sim::Duration scan_cost =
+      nic_.costs().timer_scan_base +
+      non_empty * nic_.costs().timer_scan_per_queue;
+
+  nic_.cpu().submit(scan_cost, [this] {
+    const sim::Time now = nic_.sched().now();
+    for (auto& [h, ch] : tx_) {
+      if (ch.retrans_queue.empty() || ch.remap_in_flight || ch.unreachable) {
+        continue;
+      }
+      const QueuedPacket& oldest = ch.retrans_queue.front();
+      if (!oldest.sent_once) continue;  // parked awaiting a route
+      // last_sent can be in the future (send-DMA completion time of a
+      // packet still draining onto the wire): not timed out.
+      if (oldest.last_sent >= now ||
+          now - oldest.last_sent < cfg_.retrans_interval) {
+        continue;
+      }
+
+      if (ch.rounds_without_progress >= cfg_.fail_min_rounds &&
+          now - ch.last_progress >= cfg_.fail_threshold) {
+        declare_path_failure(h, ch);
+      } else {
+        retransmit_channel(h, ch);
+      }
+    }
+    // Re-arm only now: the timer handler runs on the single control
+    // processor, so an overloaded MCP stretches the effective timer period
+    // instead of piling up unbounded retransmission work — as the real
+    // firmware's one control loop does.
+    arm_timer();
+  });
+}
+
+void ReliableFirmware::retransmit_channel(HostId h, TxChannel& ch) {
+  ++stats_.retrans_rounds;
+  ++ch.rounds_without_progress;
+  const sim::Time now = nic_.sched().now();
+  std::size_t n = ch.retrans_queue.size();
+  if (cfg_.retransmit_window != 0) {
+    n = std::min<std::size_t>(n, cfg_.retransmit_window);
+  }
+  const std::uint16_t gen = ch.generation;
+  std::size_t i = 0;
+  for (QueuedPacket& qp : ch.retrans_queue) {
+    if (i == n) break;
+    ++i;
+    // Provisional stamp so the next scan does not double-fire this round;
+    // the real send-DMA completion time replaces it at injection.
+    qp.last_sent = now;
+    const std::uint32_t seq = qp.pkt.hdr.seq;
+    const bool is_last = (i == n);
+    // Each retransmission is queue motion plus a send-DMA setup on the slow
+    // control processor; the packet bytes are already in SRAM (no copy). The
+    // packet is looked up by (generation, seq) at execution time — it may
+    // have been cumulatively acknowledged (and freed) meanwhile.
+    nic_.cpu().submit(nic_.costs().retransmit_per_packet,
+                      [this, h, gen, seq, is_last] {
+                        retransmit_one(h, gen, seq, is_last);
+                      });
+  }
+}
+
+void ReliableFirmware::retransmit_one(HostId h, std::uint16_t gen,
+                                      std::uint32_t seq, bool is_last) {
+  TxChannel& ch = tx(h);
+  if (ch.generation != gen) return;  // re-mapped meanwhile
+  for (QueuedPacket& qp : ch.retrans_queue) {
+    if (qp.pkt.hdr.seq != seq) continue;
+    // Refresh the piggy-backed cumulative ACK to the current value.
+    RxChannel& rxch = rx(h);
+    qp.pkt.hdr.flags |= net::kFlagRetransmit | net::kFlagPiggyAck;
+    qp.pkt.hdr.ack = rxch.expected_seq - 1;
+    qp.pkt.hdr.ack_gen = rxch.generation;
+    if (is_last) qp.pkt.hdr.flags |= net::kFlagAckRequest;  // resync promptly
+    put_on_wire(h, qp, /*is_retransmit=*/true);
+    return;
+  }
+  // Already acknowledged and freed: nothing to do.
+}
+
+// ---------------------------------------------------------------------------
+// Permanent failures and on-demand re-mapping (§4.2)
+// ---------------------------------------------------------------------------
+
+void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
+  ++stats_.path_failures;
+  routes_.invalidate(h);
+  if (mapper_ == nullptr) {
+    ch.unreachable = true;
+    drop_pending(h, ch);
+    return;
+  }
+  begin_remap(h, ch);
+}
+
+void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
+  if (ch.remap_in_flight) return;
+  ch.remap_in_flight = true;
+  ++stats_.remap_requests;
+  mapper_->request_route(h, [this, h](std::optional<net::Route> route) {
+    finish_remap(h, std::move(route));
+  });
+}
+
+void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
+  TxChannel& ch = tx(h);
+  ch.remap_in_flight = false;
+  if (!route) {
+    // "If no alternative route to a node exists, the node is labeled as
+    // unreachable and any pending packets are dropped."
+    ch.unreachable = true;
+    drop_pending(h, ch);
+    return;
+  }
+  routes_.set(h, *route);
+
+  // New generation: restart the sequence space and renumber everything that
+  // is still pending, so stale packets in the network are recognizably old.
+  ++ch.generation;
+  std::uint32_t seq = 1;
+  RxChannel& rxch = rx(h);
+  for (QueuedPacket& qp : ch.retrans_queue) {
+    qp.pkt.hdr.seq = seq++;
+    qp.pkt.hdr.generation = ch.generation;
+    qp.pkt.hdr.route = *route;
+    qp.pkt.hdr.ack = rxch.expected_seq - 1;
+    qp.pkt.hdr.ack_gen = rxch.generation;
+    qp.pkt.hdr.flags |= net::kFlagAckRequest;  // re-sync fast
+  }
+  ch.next_seq = seq;
+  ch.rounds_without_progress = 0;
+  ch.last_progress = nic_.sched().now();
+
+  // Resume: send every pending packet in order on the fresh route.
+  {
+    const std::uint16_t gen = ch.generation;
+    const std::size_t n = ch.retrans_queue.size();
+    std::size_t i = 0;
+    for (QueuedPacket& qp : ch.retrans_queue) {
+      ++i;
+      qp.last_sent = nic_.sched().now();
+      qp.sent_once = true;
+      ++stats_.data_tx;
+      const std::uint32_t seq = qp.pkt.hdr.seq;
+      const bool is_last = (i == n);
+      nic_.cpu().submit(nic_.costs().retransmit_per_packet,
+                        [this, h, gen, seq, is_last] {
+                          retransmit_one(h, gen, seq, is_last);
+                        });
+    }
+  }
+
+  // Pay any ACK debt toward this node now that we can reach it.
+  if (rxch.ack_owed) {
+    rxch.ack_owed = false;
+    send_explicit_ack(h);
+  }
+}
+
+void ReliableFirmware::drop_pending(HostId /*h*/, TxChannel& ch) {
+  const std::size_t n = ch.retrans_queue.size();
+  if (n > 0) {
+    stats_.unreachable_drops += n;
+    ch.retrans_queue.clear();
+    nic_.release_send_buffers(n);
+  }
+}
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,151 @@
+// ReliableFirmware: the paper's firmware-level retransmission protocol (§4.1)
+// plus the hooks for on-demand re-mapping (§4.2).
+//
+// Protocol summary (all of it implemented here, on the simulated NIC):
+//  * go-back-N with per-remote-node sequence numbers and retransmission
+//    queues; buffers move between the global free queue, the wire, and the
+//    per-node retransmission queue — no copies;
+//  * a single periodic retransmission timer per NIC scans all queues; a
+//    queue whose oldest packet has been unacknowledged for one full interval
+//    is retransmitted in order;
+//  * cumulative ACKs (one ACK frees every buffer up to its sequence number),
+//    no NACKs, no receiver buffering: out-of-order packets are dropped;
+//  * piggy-backed ACKs on reverse data traffic, explicit ACKs only when the
+//    sender's feedback bit requests one (AckPolicy) or the receiver's
+//    coalesce safety valve trips;
+//  * a path with `fail_threshold_rounds` consecutive fruitless
+//    retransmission rounds is declared permanently failed: with a mapper
+//    attached the route is invalidated and re-discovered on demand, the
+//    sequence space restarts as a new generation, and pending packets are
+//    renumbered and resent; without a mapper the node is marked unreachable
+//    and pending packets are dropped (§4.2).
+//
+// Error injection (§5.1.3): `drop_plan` reproduces the paper's methodology —
+// every Nth data packet is moved to the retransmission queue without ever
+// touching the wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "firmware/ack_policy.hpp"
+#include "firmware/channel.hpp"
+#include "firmware/mapper.hpp"
+#include "firmware/route_table.hpp"
+#include "nic/nic.hpp"
+#include "sim/rng.hpp"
+
+namespace sanfault::firmware {
+
+struct ReliabilityConfig {
+  /// The retransmission timer interval (Table 1 sweeps 10 us .. 1 s).
+  sim::Duration retrans_interval = sim::milliseconds(1);
+  /// The paper's transient/permanent threshold: a path with no successful
+  /// delivery for this long — and at least `fail_min_rounds` go-back-N
+  /// rounds attempted — is declared permanently failed. The default is
+  /// deliberately conservative: even a 30% transient loss rate with a 10 ms
+  /// timer virtually never produces 8 fruitless rounds spanning 200 ms.
+  sim::Duration fail_threshold = sim::milliseconds(200);
+  std::uint32_t fail_min_rounds = 8;
+  AckPolicyConfig ack;
+  /// Paper §5.1.3: drop every Nth data packet on the send side, before wire
+  /// injection (0 = no injected errors). The dropped packet sits in the
+  /// retransmission queue until the timer recovers it. The first drop is
+  /// exactly at the Nth injection; later gaps are jittered +-25% (seeded,
+  /// deterministic) so the drop pattern cannot phase-lock with go-back-N
+  /// rounds — a strictly periodic pattern can re-drop the same sequence
+  /// number forever when the queue length is a multiple of N.
+  std::uint64_t drop_interval = 0;
+  std::uint64_t drop_seed = 0x5eedull;
+  /// Ablation (the paper explicitly skipped bursty errors): each drop event
+  /// discards this many consecutive data packets (1 = the paper's uniform
+  /// scheme). The long-run drop *rate* stays drop_burst/drop_interval.
+  std::uint32_t drop_burst = 1;
+  /// Ablation: cap on packets re-sent per go-back-N round (0 = whole queue,
+  /// the paper's scheme). 1 approximates stop-and-wait recovery; the paper
+  /// attributes Figure 8's q128 collapse to the absence of selective
+  /// retransmission, which this knob lets you quantify.
+  std::uint32_t retransmit_window = 0;
+};
+
+struct ReliabilityStats {
+  std::uint64_t data_tx = 0;             // first transmissions
+  std::uint64_t retransmissions = 0;     // packets re-injected
+  std::uint64_t retrans_rounds = 0;      // go-back-N rounds
+  std::uint64_t injected_drops = 0;      // §5.1.3 simulated errors
+  std::uint64_t data_rx_in_order = 0;
+  std::uint64_t dup_drops = 0;
+  std::uint64_t ooo_drops = 0;
+  std::uint64_t stale_gen_drops = 0;
+  std::uint64_t corrupt_drops = 0;
+  std::uint64_t acks_explicit_tx = 0;
+  std::uint64_t acks_rx = 0;
+  std::uint64_t timer_fires = 0;
+  std::uint64_t path_failures = 0;
+  std::uint64_t remap_requests = 0;
+  std::uint64_t unreachable_drops = 0;   // packets discarded, no path
+  std::uint64_t no_route_drops = 0;      // no route and no mapper attached
+};
+
+class ReliableFirmware final : public nic::FirmwareIface {
+ public:
+  explicit ReliableFirmware(nic::Nic& nic, ReliabilityConfig cfg = {});
+
+  [[nodiscard]] RouteTable& routes() { return routes_; }
+  [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
+  [[nodiscard]] const ReliabilityConfig& config() const { return cfg_; }
+
+  void set_mapper(MapperIface* mapper) { mapper_ = mapper; }
+
+  /// Introspection for tests: sender/receiver channel state toward `h`.
+  [[nodiscard]] const TxChannel* tx_channel(net::HostId h) const;
+  [[nodiscard]] const RxChannel* rx_channel(net::HostId h) const;
+
+  // --- FirmwareIface -------------------------------------------------------
+  void on_host_packet(nic::SendRequest req) override;
+  void on_wire_packet(net::Packet pkt, bool crc_ok) override;
+  [[nodiscard]] sim::Duration tx_cpu_cost(const nic::SendRequest&) const override;
+  [[nodiscard]] sim::Duration rx_cpu_cost(const net::Packet&) const override;
+
+ private:
+  TxChannel& tx(net::HostId h) { return tx_[h]; }
+  RxChannel& rx(net::HostId h) { return rx_[h]; }
+
+  void arm_timer();
+  void on_timer();
+  void retransmit_channel(net::HostId h, TxChannel& ch);
+  /// Executes one queued retransmission on the control processor; looks the
+  /// packet up by (generation, seq) since it may have been acked meanwhile.
+  void retransmit_one(net::HostId h, std::uint16_t gen, std::uint32_t seq,
+                      bool is_last);
+  void process_ack(net::HostId from, std::uint32_t ack, std::uint16_t ack_gen);
+  /// `reverse_hint`: route derived from the triggering packet's recorded
+  /// trace, usable when no table route to `to` exists (symmetric fabric).
+  void send_explicit_ack(net::HostId to,
+                         std::optional<net::Route> reverse_hint = std::nullopt);
+  void handle_data(net::Packet pkt);
+  void declare_path_failure(net::HostId h, TxChannel& ch);
+  void begin_remap(net::HostId h, TxChannel& ch);
+  void finish_remap(net::HostId h, std::optional<net::Route> route);
+  void drop_pending(net::HostId h, TxChannel& ch);
+  /// Send one queued packet to the wire (or count an injected drop).
+  void put_on_wire(net::HostId h, QueuedPacket& qp, bool is_retransmit);
+  /// §5.1.3 drop-plan decision for the next data injection.
+  bool should_drop_now();
+
+  nic::Nic& nic_;
+  ReliabilityConfig cfg_;
+  AckPolicy policy_;
+  RouteTable routes_;
+  MapperIface* mapper_ = nullptr;
+  // std::map: the timer scan iterates these; ordered maps keep the scan
+  // order (and thus every simulation) deterministic.
+  std::map<net::HostId, TxChannel> tx_;
+  std::map<net::HostId, RxChannel> rx_;
+  ReliabilityStats stats_;
+  std::uint64_t next_drop_in_ = 0;  // §5.1.3 countdown to the next drop
+  std::uint32_t burst_left_ = 0;    // remaining drops of the current burst
+  sim::Rng drop_rng_;
+};
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,145 @@
+#include "firmware/updown.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace sanfault::firmware {
+
+using net::Device;
+using net::HostId;
+using net::LinkId;
+using net::Port;
+using net::Route;
+
+UpDownRouting::UpDownRouting(const net::Topology& topo) : topo_(&topo) {
+  switch_level_.assign(topo.num_switches(), -1);
+  if (topo.num_switches() == 0) return;
+
+  // Root: the lowest-indexed live switch (Autonet picks by unique id; our
+  // switch creation order serves as the id).
+  std::uint32_t root = 0;
+  while (root < topo.num_switches() && !topo.switch_up(net::SwitchId{root})) {
+    ++root;
+  }
+  if (root >= topo.num_switches()) return;
+
+  std::deque<std::uint32_t> frontier{root};
+  switch_level_[root] = 0;
+  while (!frontier.empty()) {
+    const std::uint32_t s = frontier.front();
+    frontier.pop_front();
+    const Device dev = Device::sw(net::SwitchId{s});
+    for (std::uint8_t p = 0; p < topo.switch_ports(net::SwitchId{s}); ++p) {
+      auto att = topo.peer_of(Port{dev, p});
+      if (!att || !topo.link_up(att->link)) continue;
+      if (!att->peer.dev.is_switch()) continue;
+      const std::uint32_t n = att->peer.dev.index;
+      if (!topo.switch_up(net::SwitchId{n}) || switch_level_[n] >= 0) continue;
+      switch_level_[n] = switch_level_[s] + 1;
+      frontier.push_back(n);
+    }
+  }
+}
+
+int UpDownRouting::level(Device d) const {
+  if (d.is_switch()) return switch_level_[d.index];
+  // A host sits one level below its switch (or below a direct-cable peer).
+  auto att = topo_->peer_of(Port{d, 0});
+  if (!att) return -1;
+  if (att->peer.dev.is_switch()) {
+    const int l = switch_level_[att->peer.dev.index];
+    return l < 0 ? -1 : l + 1;
+  }
+  return 1;  // host-to-host cable: arbitrary but consistent
+}
+
+bool UpDownRouting::is_up(LinkId link, Device from) const {
+  auto [a, b] = topo_->link_ends(link);
+  const Device to = (a.dev == from) ? b.dev : a.dev;
+  const int lf = level(from);
+  const int lt = level(to);
+  if (lt != lf) return lt < lf;  // toward the root = up
+  // Tie: lower (kind, index) wins as "higher" end, matching Autonet's
+  // unique-id tie-break.
+  return to < from;
+}
+
+std::optional<Route> UpDownRouting::route(HostId from, HostId to) const {
+  if (from == to) return Route{};
+  const Device start = Device::host(from);
+  const Device goal = Device::host(to);
+
+  // BFS over (device, phase): phase 0 = still allowed to go up, phase 1 =
+  // committed to down-links only.
+  struct State {
+    Device dev;
+    int phase;
+    auto operator<=>(const State&) const = default;
+  };
+  struct Crumb {
+    State prev;
+    LinkId via;
+  };
+  std::map<State, Crumb> visited;
+  std::deque<State> frontier;
+
+  auto start_att = topo_->peer_of(Port{start, 0});
+  if (!start_att || !topo_->link_up(start_att->link)) return std::nullopt;
+  // Leaving the source host: hosts are leaves, so this first hop is "up".
+  const State s0{start_att->peer.dev, 0};
+  if (s0.dev == goal) return Route{};  // direct cable
+  visited[s0] = Crumb{State{start, 0}, start_att->link};
+  frontier.push_back(s0);
+
+  std::optional<State> goal_state;
+  while (!frontier.empty() && !goal_state) {
+    const State st = frontier.front();
+    frontier.pop_front();
+    if (!st.dev.is_switch()) continue;
+    const auto sw = st.dev.as_switch();
+    if (!topo_->switch_up(sw)) continue;
+    for (std::uint8_t p = 0; p < topo_->switch_ports(sw) && !goal_state; ++p) {
+      auto att = topo_->peer_of(Port{st.dev, p});
+      if (!att || !topo_->link_up(att->link)) continue;
+      const Device nbr = att->peer.dev;
+      if (nbr.is_switch() && !topo_->switch_up(nbr.as_switch())) continue;
+
+      const bool up = is_up(att->link, st.dev);
+      int nphase;
+      if (up) {
+        if (st.phase == 1) continue;  // down-committed: no more up-links
+        nphase = 0;
+      } else {
+        nphase = 1;
+      }
+      const State ns{nbr, nphase};
+      if (visited.contains(ns)) continue;
+      visited[ns] = Crumb{st, att->link};
+      if (nbr == goal) {
+        goal_state = ns;
+        break;
+      }
+      if (nbr.is_switch()) frontier.push_back(ns);
+    }
+  }
+  if (!goal_state) return std::nullopt;
+
+  Route route;
+  State cur = *goal_state;
+  while (cur.dev != start) {
+    const Crumb& c = visited.at(cur);
+    if (c.prev.dev.is_switch()) {
+      auto [a, b] = topo_->link_ends(c.via);
+      const Port out = (a.dev == c.prev.dev) ? a : b;
+      route.ports.push_back(out.port);
+    }
+    cur = c.prev;
+    if (cur.dev == start) break;
+    if (!visited.contains(cur)) break;  // reached s0 whose prev is start
+  }
+  std::reverse(route.ports.begin(), route.ports.end());
+  return route;
+}
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,43 @@
+// UP*/DOWN* deadlock-free routing (Autonet / Myrinet mapper algorithm).
+//
+// The classical full-map baseline the paper compares against conceptually:
+// build a BFS spanning tree over the switches, orient every link "up" toward
+// the root (ties broken by device id), and restrict legal routes to zero or
+// more up-links followed by zero or more down-links. Such routes cannot form
+// a cycle of waiting packets, hence no deadlock — at the cost of generally
+// non-minimal paths and a mapping process that must see the whole fabric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/route.hpp"
+#include "net/topology.hpp"
+
+namespace sanfault::firmware {
+
+class UpDownRouting {
+ public:
+  /// Computes levels and link orientations over the *currently up* part of
+  /// the fabric. Recompute after any topology change.
+  explicit UpDownRouting(const net::Topology& topo);
+
+  /// Legal (up*-then-down*) route from one host to another, shortest among
+  /// legal ones. nullopt if none exists.
+  [[nodiscard]] std::optional<net::Route> route(net::HostId from,
+                                                net::HostId to) const;
+
+  /// True if traversing `link` away from `from` goes "up" (toward the root).
+  [[nodiscard]] bool is_up(net::LinkId link, net::Device from) const;
+
+  /// BFS level of a device (root switch = 0); hosts sit below their switch.
+  [[nodiscard]] int level(net::Device d) const;
+
+ private:
+  const net::Topology* topo_;
+  std::vector<int> switch_level_;  // -1 = unreachable/dead
+};
+
+}  // namespace sanfault::firmware

@@ -1,0 +1,178 @@
+// Cluster: one-stop experiment rig.
+//
+// Builds a complete simulated cluster — topology, fabric, one NIC per host,
+// and a firmware (reliable or raw) per NIC — from a single config struct.
+// Tests, benchmarks and examples all use this, so every experiment in
+// EXPERIMENTS.md is reproducible from a handful of knobs that map 1:1 onto
+// the paper's Table 1.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "firmware/mapper_full.hpp"
+#include "firmware/mapper_ondemand.hpp"
+#include "firmware/raw.hpp"
+#include "firmware/reliability.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "nic/nic.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sanfault::harness {
+
+enum class FirmwareKind {
+  kRaw,       // the paper's "No Fault Tolerance" baseline
+  kReliable,  // the paper's retransmission protocol
+};
+
+enum class TopoKind {
+  kSingleSwitch,  // all hosts on one crossbar (micro-benchmark setup)
+  kFigure2,       // the paper's 4-switch redundant tree (mapping setup)
+};
+
+enum class MapperKind {
+  kNone,      // static routes only; permanent failure => unreachable
+  kOnDemand,  // the paper's lazy BFS probing scheme (§4.2)
+  kFull,      // full-network remap + UP*/DOWN* baseline
+};
+
+struct ClusterConfig {
+  std::size_t num_hosts = 2;
+  FirmwareKind fw = FirmwareKind::kReliable;
+  TopoKind topo = TopoKind::kSingleSwitch;
+  nic::NicConfig nic;
+  firmware::ReliabilityConfig rel;
+  net::FabricConfig fabric;
+  MapperKind mapper = MapperKind::kNone;
+  firmware::OnDemandMapperConfig ondemand;
+  firmware::FullMapperConfig full;
+  /// Preload full shortest routes into every route table (the static-map
+  /// baseline). Disable to start with empty tables for on-demand mapping.
+  bool preload_routes = true;
+};
+
+/// A message as the host library (or application) receives it.
+struct HostMsg {
+  sim::Time at = 0;
+  net::UserHeader user;
+  std::vector<std::uint8_t> payload;
+  net::HostId src;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+    build_topology();
+    fabric_ = std::make_unique<net::Fabric>(sched, topo, cfg_.fabric);
+    inboxes_.resize(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      nics_.push_back(
+          std::make_unique<nic::Nic>(sched, *fabric_, hosts[i], cfg_.nic));
+      if (cfg_.fw == FirmwareKind::kReliable) {
+        rel_.push_back(
+            std::make_unique<firmware::ReliableFirmware>(*nics_.back(), cfg_.rel));
+        if (cfg_.preload_routes) rel_.back()->routes().populate_all(topo, hosts[i]);
+        if (cfg_.mapper == MapperKind::kOnDemand) {
+          auto od = cfg_.ondemand;
+          if (od.radix_oracle == nullptr) od.radix_oracle = &topo;
+          mappers_.push_back(std::make_unique<firmware::OnDemandMapper>(
+              *nics_.back(), od));
+          rel_.back()->set_mapper(mappers_.back().get());
+        } else if (cfg_.mapper == MapperKind::kFull) {
+          full_mappers_.push_back(std::make_unique<firmware::FullMapper>(
+              *nics_.back(), topo, cfg_.full));
+          rel_.back()->set_mapper(full_mappers_.back().get());
+        }
+      } else {
+        raw_.push_back(std::make_unique<firmware::RawFirmware>(*nics_.back()));
+        if (cfg_.preload_routes) raw_.back()->routes().populate_all(topo, hosts[i]);
+      }
+      inboxes_[i] = std::make_unique<sim::Channel<HostMsg>>();
+      nics_[i]->set_host_rx([this, i](net::UserHeader u,
+                                      std::vector<std::uint8_t> p,
+                                      net::HostId src) {
+        inboxes_[i]->push(sched, HostMsg{sched.now(), u, std::move(p), src});
+      });
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return hosts.size(); }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] nic::Nic& nic(std::size_t i) { return *nics_.at(i); }
+  [[nodiscard]] sim::Channel<HostMsg>& inbox(std::size_t i) {
+    return *inboxes_.at(i);
+  }
+  [[nodiscard]] firmware::ReliableFirmware& rel(std::size_t i) {
+    assert(cfg_.fw == FirmwareKind::kReliable);
+    return *rel_.at(i);
+  }
+  [[nodiscard]] firmware::RawFirmware& raw(std::size_t i) {
+    assert(cfg_.fw == FirmwareKind::kRaw);
+    return *raw_.at(i);
+  }
+  [[nodiscard]] firmware::RouteTable& routes(std::size_t i) {
+    return cfg_.fw == FirmwareKind::kReliable ? rel_.at(i)->routes()
+                                              : raw_.at(i)->routes();
+  }
+  [[nodiscard]] firmware::OnDemandMapper& mapper(std::size_t i) {
+    assert(cfg_.mapper == MapperKind::kOnDemand);
+    return *mappers_.at(i);
+  }
+  [[nodiscard]] firmware::FullMapper& full_mapper(std::size_t i) {
+    assert(cfg_.mapper == MapperKind::kFull);
+    return *full_mappers_.at(i);
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+
+  /// Convenience: submit a payload from host `from` to host `to`.
+  void send(std::size_t from, std::size_t to,
+            std::vector<std::uint8_t> payload, net::UserHeader user = {},
+            std::function<void()> on_accepted = {}) {
+    nic::SendRequest req;
+    req.dst = hosts.at(to);
+    req.user = user;
+    req.payload = std::move(payload);
+    nics_.at(from)->host_submit(std::move(req), std::move(on_accepted));
+  }
+
+  sim::Scheduler sched;
+  net::Topology topo;
+  std::vector<net::HostId> hosts;
+  /// Populated for TopoKind::kFigure2 only.
+  std::vector<net::SwitchId> switches;
+
+ private:
+  void build_topology() {
+    if (cfg_.topo == TopoKind::kSingleSwitch) {
+      auto sw = topo.add_switch(static_cast<std::uint8_t>(
+          std::min<std::size_t>(cfg_.num_hosts + 2, 250)));
+      switches.push_back(sw);
+      for (std::size_t i = 0; i < cfg_.num_hosts; ++i) {
+        auto h = topo.add_host();
+        topo.connect({net::Device::host(h), 0},
+                     {net::Device::sw(sw), static_cast<std::uint8_t>(i)});
+        hosts.push_back(h);
+      }
+    } else {
+      auto f = net::make_figure2_fabric(cfg_.num_hosts);
+      topo = std::move(f.topo);
+      hosts = std::move(f.hosts);
+      switches = {f.sw8_a, f.sw16_a, f.sw16_b, f.sw8_b};
+    }
+  }
+
+  ClusterConfig cfg_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<nic::Nic>> nics_;
+  std::vector<std::unique_ptr<firmware::ReliableFirmware>> rel_;
+  std::vector<std::unique_ptr<firmware::RawFirmware>> raw_;
+  std::vector<std::unique_ptr<firmware::OnDemandMapper>> mappers_;
+  std::vector<std::unique_ptr<firmware::FullMapper>> full_mappers_;
+  std::vector<std::unique_ptr<sim::Channel<HostMsg>>> inboxes_;
+};
+
+}  // namespace sanfault::harness

@@ -1,0 +1,87 @@
+// Minimal fixed-width table printer for the benchmark binaries, so every
+// figure/table reproduction prints the same rows/series the paper reports.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sanfault::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(headers_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        std::fprintf(out, "%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::fprintf(out, "\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_bytes(std::size_t b) {
+  char buf[64];
+  if (b >= 1024 * 1024 && b % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuM", b / (1024 * 1024));
+  } else if (b >= 1024 && b % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuK", b / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", b);
+  }
+  return buf;
+}
+
+/// Pretty duration: "10us", "1ms", "1s".
+inline std::string fmt_interval(sim::Duration d) {
+  char buf[64];
+  if (d >= sim::seconds(1) && d % sim::seconds(1) == 0) {
+    std::snprintf(buf, sizeof(buf), "%llus",
+                  static_cast<unsigned long long>(d / sim::seconds(1)));
+  } else if (d >= sim::milliseconds(1) && d % sim::milliseconds(1) == 0) {
+    std::snprintf(buf, sizeof(buf), "%llums",
+                  static_cast<unsigned long long>(d / sim::milliseconds(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(d / sim::microseconds(1)));
+  }
+  return buf;
+}
+
+}  // namespace sanfault::harness

@@ -1,0 +1,145 @@
+// PacketTrace: a bounded in-memory wire-event recorder for debugging and
+// analysis. Attach it to a Fabric and every delivery and drop is logged with
+// simulated timestamp, endpoints, packet type, sequence/generation, and drop
+// reason; dump() renders a human-readable timeline, and the per-type
+// counters make protocol behavior assertions easy in tests.
+//
+//   harness::PacketTrace trace(cluster.fabric(), cluster.sched);
+//   ... run ...
+//   trace.dump(stderr);                       // timeline
+//   trace.count(net::PacketType::kAck);       // how many ACKs delivered
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sanfault::harness {
+
+class PacketTrace {
+ public:
+  struct Event {
+    sim::Time at = 0;
+    bool dropped = false;
+    net::DropReason reason = net::DropReason::kMisroute;  // if dropped
+    net::HostId src;
+    net::HostId dst;  // actual receiver for deliveries; header dst for drops
+    net::PacketType type = net::PacketType::kData;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint16_t generation = 0;
+    std::uint8_t flags = 0;
+    std::size_t payload_bytes = 0;
+  };
+
+  /// Records at most `capacity` events (oldest evicted first).
+  PacketTrace(net::Fabric& fabric, sim::Scheduler& sched,
+              std::size_t capacity = 4096)
+      : fabric_(fabric), sched_(sched), capacity_(capacity) {
+    fabric_.set_delivery_hook([this](const net::Packet& p, net::HostId dst) {
+      record(p, dst, /*dropped=*/false, net::DropReason::kMisroute);
+    });
+    fabric_.set_drop_hook([this](const net::Packet& p, net::DropReason r) {
+      record(p, p.hdr.dst, /*dropped=*/true, r);
+    });
+  }
+
+  ~PacketTrace() {
+    fabric_.set_delivery_hook({});
+    fabric_.set_drop_hook({});
+  }
+
+  PacketTrace(const PacketTrace&) = delete;
+  PacketTrace& operator=(const PacketTrace&) = delete;
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t total_recorded() const { return total_; }
+
+  /// Delivered packets of one type seen so far (drops excluded).
+  [[nodiscard]] std::uint64_t count(net::PacketType t) const {
+    auto it = delivered_by_type_.find(t);
+    return it == delivered_by_type_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+  static const char* type_name(net::PacketType t) {
+    switch (t) {
+      case net::PacketType::kData: return "DATA";
+      case net::PacketType::kAck: return "ACK";
+      case net::PacketType::kProbeHost: return "PROBE_H";
+      case net::PacketType::kProbeSwitch: return "PROBE_S";
+      case net::PacketType::kProbeReply: return "PROBE_R";
+      case net::PacketType::kControl: return "CTRL";
+    }
+    return "?";
+  }
+
+  static const char* reason_name(net::DropReason r) {
+    switch (r) {
+      case net::DropReason::kLinkDown: return "link-down";
+      case net::DropReason::kSwitchDead: return "switch-dead";
+      case net::DropReason::kMisroute: return "misroute";
+      case net::DropReason::kRandomLoss: return "loss";
+      case net::DropReason::kPathReset: return "path-reset";
+      case net::DropReason::kNotAttached: return "unattached";
+    }
+    return "?";
+  }
+
+  /// Render the retained window as one line per event.
+  void dump(std::FILE* out = stderr) const {
+    for (const Event& e : events_) {
+      if (e.dropped) {
+        std::fprintf(out, "%12.3f us  DROP %-8s %u->%u seq=%u gen=%u (%s)\n",
+                     sim::to_micros(e.at), type_name(e.type), e.src.v, e.dst.v,
+                     e.seq, e.generation, reason_name(e.reason));
+      } else {
+        std::fprintf(out,
+                     "%12.3f us  %-8s %u->%u seq=%u ack=%u gen=%u %zuB%s%s\n",
+                     sim::to_micros(e.at), type_name(e.type), e.src.v, e.dst.v,
+                     e.seq, e.ack, e.generation, e.payload_bytes,
+                     (e.flags & net::kFlagRetransmit) ? " RETX" : "",
+                     (e.flags & net::kFlagAckRequest) ? " REQ" : "");
+      }
+    }
+  }
+
+ private:
+  void record(const net::Packet& p, net::HostId dst, bool dropped,
+              net::DropReason reason) {
+    Event e;
+    e.at = sched_.now();
+    e.dropped = dropped;
+    e.reason = reason;
+    e.src = p.hdr.src;
+    e.dst = dst;
+    e.type = p.hdr.type;
+    e.seq = p.hdr.seq;
+    e.ack = p.hdr.ack;
+    e.generation = p.hdr.generation;
+    e.flags = p.hdr.flags;
+    e.payload_bytes = p.payload.size();
+    events_.push_back(e);
+    if (events_.size() > capacity_) events_.pop_front();
+    ++total_;
+    if (dropped) {
+      ++drops_;
+    } else {
+      ++delivered_by_type_[p.hdr.type];
+    }
+  }
+
+  net::Fabric& fabric_;
+  sim::Scheduler& sched_;
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::map<net::PacketType, std::uint64_t> delivered_by_type_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sanfault::harness

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), as the Myrinet network DMA
+// computes on the fly for every packet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sanfault::net {
+
+/// CRC32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form for streaming use: seed with 0xFFFFFFFF, finish by
+/// XORing with 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data);
+
+}  // namespace sanfault::net

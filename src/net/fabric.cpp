@@ -1,0 +1,158 @@
+#include "net/fabric.hpp"
+
+#include <utility>
+
+#include "net/crc.hpp"
+
+namespace sanfault::net {
+
+Fabric::Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg)
+    : sched_(sched), topo_(&topo), cfg_(cfg), rng_(cfg.seed) {
+  rx_.resize(topo.num_hosts());
+  ensure_link_state();
+}
+
+void Fabric::ensure_link_state() {
+  while (link_srv_.size() < topo_->num_links()) {
+    link_srv_.emplace_back(sched_);
+    link_faults_.emplace_back();
+  }
+  if (rx_.size() < topo_->num_hosts()) rx_.resize(topo_->num_hosts());
+}
+
+void Fabric::attach(HostId h, RxHandler rx) {
+  ensure_link_state();
+  rx_.at(h.v) = std::move(rx);
+}
+
+sim::Duration Fabric::ser_time(const Packet& pkt, LinkId l) const {
+  return sim::transfer_time(pkt.wire_bytes(),
+                            topo_->link_model(l).bandwidth_bps);
+}
+
+void Fabric::drop(const Packet& pkt, DropReason reason) {
+  switch (reason) {
+    case DropReason::kLinkDown: ++stats_.dropped_link_down; break;
+    case DropReason::kSwitchDead: ++stats_.dropped_switch_dead; break;
+    case DropReason::kMisroute: ++stats_.dropped_misroute; break;
+    case DropReason::kRandomLoss: ++stats_.dropped_random; break;
+    case DropReason::kPathReset: ++stats_.dropped_path_reset; break;
+    case DropReason::kNotAttached: ++stats_.dropped_unattached; break;
+  }
+  if (drop_hook_) drop_hook_(pkt, reason);
+}
+
+void Fabric::deliver(Packet&& pkt, HostId dst) {
+  if (dst.v >= rx_.size() || !rx_[dst.v]) {
+    drop(pkt, DropReason::kNotAttached);
+    return;
+  }
+  ++stats_.delivered;
+  const bool ok =
+      !pkt.corrupt_marker &&
+      crc32(std::span<const std::uint8_t>(pkt.payload)) == pkt.crc;
+  if (!ok) ++stats_.delivered_corrupt;
+  if (delivery_hook_) delivery_hook_(pkt, dst);
+  rx_[dst.v](std::move(pkt));
+}
+
+sim::Time Fabric::inject(HostId src, Packet pkt) {
+  ensure_link_state();
+  pkt.crc = crc32(std::span<const std::uint8_t>(pkt.payload));
+  pkt.corrupt_marker = false;
+  pkt.wire_id = next_wire_id_++;
+  ++stats_.injected;
+  last_departure_ = sched_.now();  // drops before the wire depart "now"
+  step(std::move(pkt), Device::host(src), 0);
+  return last_departure_;
+}
+
+// Precondition: the packet head is at `at` and ready to leave it now.
+void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
+  Port out;
+  if (at.is_host()) {
+    out = Port{at, 0};
+  } else {
+    if (!topo_->switch_up(at.as_switch())) {
+      drop(pkt, DropReason::kSwitchDead);
+      return;
+    }
+    if (route_idx >= pkt.hdr.route.ports.size()) {
+      drop(pkt, DropReason::kMisroute);
+      return;
+    }
+    const std::uint8_t p = pkt.hdr.route.ports[route_idx++];
+    if (p >= topo_->switch_ports(at.as_switch())) {
+      drop(pkt, DropReason::kMisroute);
+      return;
+    }
+    out = Port{at, p};
+  }
+
+  const auto att = topo_->peer_of(out);
+  if (!att) {
+    drop(pkt, DropReason::kMisroute);
+    return;
+  }
+  const LinkId l = att->link;
+  if (!topo_->link_up(l)) {
+    drop(pkt, DropReason::kLinkDown);
+    return;
+  }
+
+  LinkFaults& lf = link_faults_[l.v];
+  if (lf.blocked) {
+    // Wormhole blocking: the packet head sits in the fabric until the
+    // hardware deadlock timer fires and the path reset flushes it.
+    sched_.after(cfg_.deadlock_timeout,
+                 [this, pkt = std::move(pkt)] {
+                   drop(pkt, DropReason::kPathReset);
+                 });
+    return;
+  }
+  if (lf.loss_prob > 0.0 && rng_.bernoulli(lf.loss_prob)) {
+    drop(pkt, DropReason::kRandomLoss);
+    return;
+  }
+  if (lf.corrupt_prob > 0.0 && rng_.bernoulli(lf.corrupt_prob)) {
+    if (!pkt.payload.empty()) {
+      pkt.payload[rng_.uniform(pkt.payload.size())] ^= 0x5A;
+    }
+    // Header/route corruption and empty payloads are caught by the marker:
+    // the receiver's CRC check is forced to fail.
+    pkt.corrupt_marker = true;
+  }
+
+  const LinkModel& model = topo_->link_model(l);
+  auto [end_a, end_b] = topo_->link_ends(l);
+  sim::FifoServer& srv = (end_a == out) ? link_srv_[l.v].ab : link_srv_[l.v].ba;
+
+  const sim::Duration ser = ser_time(pkt, l);
+  const sim::Time completion = srv.submit(ser);  // tail leaves this link
+  const sim::Time start = completion - ser;      // head entered the link
+  if (at.is_host()) last_departure_ = completion;  // send-DMA finish time
+  const Device peer = att->peer.dev;
+
+  if (peer.is_host()) {
+    // Tail arrival: last byte propagates `latency` after leaving the link.
+    const sim::Time tail_arrival = sim::time_add(completion, model.latency);
+    sched_.at(tail_arrival, [this, pkt = std::move(pkt), peer, route_idx]() mutable {
+      if (route_idx != pkt.hdr.route.ports.size()) {
+        drop(pkt, DropReason::kMisroute);
+      } else {
+        deliver(std::move(pkt), peer.as_host());
+      }
+    });
+  } else {
+    // Head arrival at the next crossbar, plus its fall-through delay. Record
+    // the port the packet enters through (see Packet::in_ports).
+    pkt.in_ports.push_back(att->peer.port);
+    const sim::Time head_arrival =
+        sim::time_add(sim::time_add(start, model.latency), cfg_.switch_delay);
+    sched_.at(head_arrival, [this, pkt = std::move(pkt), peer, route_idx]() mutable {
+      step(std::move(pkt), peer, route_idx);
+    });
+  }
+}
+
+}  // namespace sanfault::net

@@ -1,0 +1,150 @@
+// Fabric: the dynamic transport over a Topology.
+//
+// Models Myrinet-style source-routed wormhole transport as virtual
+// cut-through: a packet occupies each directed link for its serialization
+// time (so contention on shared links is accounted exactly), while its head
+// races ahead one hop per (link latency + switch fall-through). Total
+// uncontended transfer time is therefore
+//     sum_hops(latency + switch_delay) + serialization_once
+// which is the wormhole pipeline formula.
+//
+// Failure surface (what §3.3 of the paper enumerates):
+//  * hardware packet corruption  -> per-link corrupt probability; the CRC
+//    computed at injection no longer matches at the receiver
+//  * hardware packet loss        -> per-link loss probability
+//  * blocked path / deadlock     -> a Blocked link holds the packet for the
+//    hardware deadlock-timeout, then the path reset drops it
+//  * permanent failures          -> downed links / dead switches drop packets
+// Send-side deterministic dropping (the paper's §5.1.3 error-injection
+// methodology) lives in the firmware layer, not here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/server.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::net {
+
+struct FabricConfig {
+  /// Per-switch head fall-through latency (full crossbar).
+  sim::Duration switch_delay = 300;
+  /// Myrinet's user-configurable deadlock/blocked-path timer (62.5 ms - 4 s);
+  /// a packet entering a Blocked link is dropped after this long.
+  sim::Duration deadlock_timeout = sim::milliseconds(62);
+  /// Seed for the fabric's fault RNG stream.
+  std::uint64_t seed = 1;
+};
+
+/// Why a packet never reached its destination (for stats and tracing).
+enum class DropReason : std::uint8_t {
+  kLinkDown,
+  kSwitchDead,
+  kMisroute,       // fell off the fabric: bad port / route size mismatch
+  kRandomLoss,     // transient hardware loss
+  kPathReset,      // blocked path, dropped by the hardware deadlock timer
+  kNotAttached,    // destination host has no receiver attached
+};
+
+struct FabricStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_corrupt = 0;  // delivered but failing CRC
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t dropped_switch_dead = 0;
+  std::uint64_t dropped_misroute = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_path_reset = 0;
+  std::uint64_t dropped_unattached = 0;
+
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_link_down + dropped_switch_dead + dropped_misroute +
+           dropped_random + dropped_path_reset + dropped_unattached;
+  }
+};
+
+/// Transient fault knobs, per link. Probabilities are evaluated once per
+/// packet per link traversal.
+struct LinkFaults {
+  double corrupt_prob = 0.0;
+  double loss_prob = 0.0;
+  bool blocked = false;  // wormhole-blocked (e.g. deadlocked path)
+};
+
+class Fabric {
+ public:
+  using RxHandler = std::function<void(Packet&&)>;
+  using DropHook = std::function<void(const Packet&, DropReason)>;
+
+  Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg = {});
+
+  /// Register the receive handler for a host NIC. Called with fully-arrived
+  /// packets (tail on the wire has arrived); CRC checking is the NIC's job.
+  void attach(HostId h, RxHandler rx);
+
+  /// Inject a packet from `src`'s NIC. The packet must carry its route; the
+  /// CRC over the payload is computed here, as the network send-DMA does.
+  /// Returns the time the packet's tail leaves the first link — i.e. when
+  /// the send DMA finishes, including queueing behind earlier injections.
+  /// Protocols use this as the send timestamp so that retransmission timers
+  /// self-clock to actual wire drainage (real MCPs block on the send DMA).
+  /// Packets dropped before reaching the wire return now().
+  sim::Time inject(HostId src, Packet pkt);
+
+  /// Optional observer for every drop (tracing / tests).
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  /// Optional observer for every delivery, invoked just before the receive
+  /// handler (tracing / tests).
+  using DeliveryHook = std::function<void(const Packet&, HostId)>;
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  [[nodiscard]] Topology& topology() { return *topo_; }
+
+  LinkFaults& link_faults(LinkId l) { return link_faults_[l.v]; }
+
+  /// Occupancy server for one direction of a link (exposed for tests and
+  /// utilization reporting). dir 0: a->b, dir 1: b->a.
+  [[nodiscard]] const sim::FifoServer& link_server(LinkId l, int dir) const {
+    return dir == 0 ? link_srv_[l.v].ab : link_srv_[l.v].ba;
+  }
+
+ private:
+  struct LinkServers {
+    sim::FifoServer ab;
+    sim::FifoServer ba;
+    explicit LinkServers(sim::Scheduler& s) : ab(s), ba(s) {}
+  };
+
+  void ensure_link_state();
+  void step(Packet pkt, Device at, std::size_t route_idx);
+  void drop(const Packet& pkt, DropReason reason);
+  void deliver(Packet&& pkt, HostId dst);
+
+  /// Returns the serialization duration of `pkt` on a link.
+  [[nodiscard]] sim::Duration ser_time(const Packet& pkt, LinkId l) const;
+
+  sim::Scheduler& sched_;
+  Topology* topo_;
+  FabricConfig cfg_;
+  sim::Rng rng_;
+  std::vector<RxHandler> rx_;
+  std::vector<LinkServers> link_srv_;
+  std::vector<LinkFaults> link_faults_;
+  FabricStats stats_;
+  DropHook drop_hook_;
+  DeliveryHook delivery_hook_;
+  std::uint64_t next_wire_id_ = 1;
+  /// Set by step() on the injection hop (hosts do not forward, so the first
+  /// synchronous step call is the only host-originated one).
+  sim::Time last_departure_ = 0;
+};
+
+}  // namespace sanfault::net

@@ -1,0 +1,58 @@
+// Strongly-typed identifiers for network entities.
+//
+// Hosts and switches live in separate index spaces; Device unifies them for
+// graph traversal. A "port" is an integer local to its device — Myrinet hosts
+// have exactly one network port (port 0), crossbar switches have N.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace sanfault::net {
+
+struct HostId {
+  std::uint32_t v = 0;
+  auto operator<=>(const HostId&) const = default;
+};
+
+struct SwitchId {
+  std::uint32_t v = 0;
+  auto operator<=>(const SwitchId&) const = default;
+};
+
+struct LinkId {
+  std::uint32_t v = 0;
+  auto operator<=>(const LinkId&) const = default;
+};
+
+enum class DeviceKind : std::uint8_t { kHost, kSwitch };
+
+struct Device {
+  DeviceKind kind = DeviceKind::kHost;
+  std::uint32_t index = 0;
+  auto operator<=>(const Device&) const = default;
+
+  static Device host(HostId h) { return {DeviceKind::kHost, h.v}; }
+  static Device sw(SwitchId s) { return {DeviceKind::kSwitch, s.v}; }
+  [[nodiscard]] bool is_host() const { return kind == DeviceKind::kHost; }
+  [[nodiscard]] bool is_switch() const { return kind == DeviceKind::kSwitch; }
+  [[nodiscard]] HostId as_host() const { return HostId{index}; }
+  [[nodiscard]] SwitchId as_switch() const { return SwitchId{index}; }
+};
+
+/// A specific port on a specific device.
+struct Port {
+  Device dev;
+  std::uint8_t port = 0;
+  auto operator<=>(const Port&) const = default;
+};
+
+}  // namespace sanfault::net
+
+template <>
+struct std::hash<sanfault::net::HostId> {
+  std::size_t operator()(const sanfault::net::HostId& h) const noexcept {
+    return std::hash<std::uint32_t>{}(h.v);
+  }
+};

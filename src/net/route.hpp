@@ -1,0 +1,35 @@
+// Source routes, Myrinet-style.
+//
+// A route is the sequence of output-port numbers the packet's header carries;
+// each crossbar switch on the path consumes one byte and forwards the packet
+// out that port. Hosts consume nothing — a packet arriving at a host with
+// unconsumed route bytes was misrouted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sanfault::net {
+
+struct Route {
+  std::vector<std::uint8_t> ports;
+
+  [[nodiscard]] std::size_t hops() const { return ports.size(); }
+  [[nodiscard]] bool empty() const { return ports.empty(); }
+  /// Bytes this route occupies in the packet header on the wire.
+  [[nodiscard]] std::size_t wire_bytes() const { return ports.size(); }
+
+  bool operator==(const Route&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(static_cast<int>(ports[i]));
+    }
+    return s + "]";
+  }
+};
+
+}  // namespace sanfault::net

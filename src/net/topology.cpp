@@ -1,0 +1,212 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace sanfault::net {
+
+HostId Topology::add_host() {
+  hosts_.push_back(HostRec{});
+  return HostId{static_cast<std::uint32_t>(hosts_.size() - 1)};
+}
+
+SwitchId Topology::add_switch(std::uint8_t num_ports) {
+  SwitchRec rec;
+  rec.num_ports = num_ports;
+  rec.port_link.resize(num_ports);
+  switches_.push_back(std::move(rec));
+  return SwitchId{static_cast<std::uint32_t>(switches_.size() - 1)};
+}
+
+std::optional<LinkId>& Topology::port_slot(Port p) {
+  if (p.dev.is_host()) {
+    if (p.port != 0) throw std::out_of_range("hosts have only port 0");
+    return hosts_.at(p.dev.index).link;
+  }
+  auto& sw = switches_.at(p.dev.index);
+  return sw.port_link.at(p.port);
+}
+
+const std::optional<LinkId>* Topology::port_slot_const(Port p) const {
+  if (p.dev.is_host()) {
+    if (p.port != 0) return nullptr;
+    if (p.dev.index >= hosts_.size()) return nullptr;
+    return &hosts_[p.dev.index].link;
+  }
+  if (p.dev.index >= switches_.size()) return nullptr;
+  const auto& sw = switches_[p.dev.index];
+  if (p.port >= sw.port_link.size()) return nullptr;
+  return &sw.port_link[p.port];
+}
+
+LinkId Topology::connect(Port a, Port b, LinkModel model) {
+  auto& sa = port_slot(a);
+  auto& sb = port_slot(b);
+  if (sa || sb) throw std::logic_error("Topology::connect: port already wired");
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(LinkRec{a, b, model, /*up=*/true, /*disconnected=*/false});
+  sa = id;
+  sb = id;
+  return id;
+}
+
+void Topology::disconnect(LinkId l) {
+  auto& rec = links_.at(l.v);
+  if (rec.disconnected) return;
+  rec.disconnected = true;
+  port_slot(rec.a).reset();
+  port_slot(rec.b).reset();
+}
+
+std::optional<Topology::Attachment> Topology::peer_of(Port p) const {
+  const auto* slot = port_slot_const(p);
+  if (!slot || !*slot) return std::nullopt;
+  const LinkRec& rec = links_[(*slot)->v];
+  const Port peer = (rec.a == p) ? rec.b : rec.a;
+  return Attachment{peer, **slot};
+}
+
+std::optional<Route> Topology::shortest_route(HostId from, HostId to) const {
+  if (from == to) return Route{};  // loopback: no fabric traversal
+  struct Crumb {
+    Device prev;
+    LinkId via;
+  };
+  std::map<Device, Crumb> visited;
+
+  const Device start = Device::host(from);
+  const Device goal = Device::host(to);
+  std::deque<Device> frontier{start};
+  visited[start] = Crumb{start, LinkId{}};
+
+  auto expand = [&](Device d, Port p) -> std::optional<Device> {
+    auto att = peer_of(p);
+    if (!att || !link_up(att->link)) return std::nullopt;
+    const Device nbr = att->peer.dev;
+    if (nbr.is_switch() && !switch_up(nbr.as_switch())) return std::nullopt;
+    if (visited.contains(nbr)) return std::nullopt;
+    visited[nbr] = Crumb{d, att->link};
+    return nbr;
+  };
+
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const Device d = frontier.front();
+    frontier.pop_front();
+    if (d.is_host()) {
+      if (d != start) continue;  // other hosts do not forward
+      if (auto n = expand(d, Port{d, 0})) {
+        if (*n == goal) found = true;
+        frontier.push_back(*n);
+      }
+    } else {
+      const auto& sw = switches_[d.index];
+      if (!sw.up) continue;
+      for (std::uint8_t p = 0; p < sw.num_ports && !found; ++p) {
+        if (auto n = expand(d, Port{d, p})) {
+          if (*n == goal) found = true;
+          frontier.push_back(*n);
+        }
+      }
+    }
+  }
+  if (!visited.contains(goal)) return std::nullopt;
+
+  // Walk back from the goal collecting, for every switch on the path, the
+  // output port it must use (the port on its side of the link to the next
+  // device toward the goal).
+  Route route;
+  Device cur = goal;
+  while (cur != start) {
+    const Crumb& c = visited[cur];
+    const Device prev = c.prev;
+    if (prev.is_switch()) {
+      const LinkRec& rec = links_[c.via.v];
+      const Port out = (rec.a.dev == prev) ? rec.a : rec.b;
+      route.ports.push_back(out.port);
+    }
+    cur = prev;
+  }
+  std::reverse(route.ports.begin(), route.ports.end());
+  return route;
+}
+
+std::optional<Device> Topology::device_after(HostId from,
+                                             const Route& r) const {
+  auto att = peer_of(Port{Device::host(from), 0});
+  if (!att) return std::nullopt;
+  Device cur = att->peer.dev;
+  std::size_t next = 0;
+  while (cur.is_switch() && next < r.ports.size()) {
+    const std::uint8_t port = r.ports[next++];
+    if (port >= switches_[cur.index].num_ports) return std::nullopt;
+    auto hop = peer_of(Port{cur, port});
+    if (!hop) return std::nullopt;
+    cur = hop->peer.dev;
+  }
+  if (next != r.ports.size()) return std::nullopt;  // hit a host early
+  return cur;
+}
+
+std::optional<Device> Topology::trace_route(HostId from, const Route& r) const {
+  auto att = peer_of(Port{Device::host(from), 0});
+  if (!att) return std::nullopt;
+  Device cur = att->peer.dev;
+  std::size_t next = 0;
+  while (cur.is_switch()) {
+    if (next >= r.ports.size()) return std::nullopt;  // route exhausted mid-fabric
+    const std::uint8_t port = r.ports[next++];
+    if (port >= switches_[cur.index].num_ports) return std::nullopt;
+    auto hop = peer_of(Port{cur, port});
+    if (!hop) return std::nullopt;  // unconnected port: packet falls off
+    cur = hop->peer.dev;
+  }
+  if (next != r.ports.size()) return std::nullopt;  // leftover bytes corrupt
+  return cur;
+}
+
+Figure2Fabric make_figure2_fabric(std::size_t num_hosts) {
+  Figure2Fabric f;
+  f.sw8_a = f.topo.add_switch(8);
+  f.sw16_a = f.topo.add_switch(16);
+  f.sw16_b = f.topo.add_switch(16);
+  f.sw8_b = f.topo.add_switch(8);
+
+  // Chain sw8_a - sw16_a - sw16_b - sw8_b, with a redundant second link on
+  // every switch-to-switch segment so a single link death never partitions.
+  auto wire = [&](SwitchId x, std::uint8_t px, SwitchId y, std::uint8_t py) {
+    f.topo.connect(Port{Device::sw(x), px}, Port{Device::sw(y), py});
+  };
+  wire(f.sw8_a, 0, f.sw16_a, 0);
+  wire(f.sw8_a, 1, f.sw16_a, 1);
+  wire(f.sw16_a, 2, f.sw16_b, 2);
+  wire(f.sw16_a, 3, f.sw16_b, 3);
+  wire(f.sw16_b, 0, f.sw8_b, 0);
+  wire(f.sw16_b, 1, f.sw8_b, 1);
+
+  // Hosts round-robin over the four switches, on their free ports; a full
+  // switch is skipped (the 8-port crossbars fill before the 16-port ones).
+  const SwitchId order[] = {f.sw8_a, f.sw16_a, f.sw16_b, f.sw8_b};
+  std::uint8_t next_port[] = {2, 4, 4, 2};
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < num_hosts; ++i) {
+    std::size_t tried = 0;
+    while (next_port[s] >= f.topo.switch_ports(order[s])) {
+      s = (s + 1) % 4;
+      if (++tried == 4) {
+        throw std::logic_error("make_figure2_fabric: out of switch ports");
+      }
+    }
+    const HostId h = f.topo.add_host();
+    f.topo.connect(Port{Device::host(h), 0},
+                   Port{Device::sw(order[s]), next_port[s]++});
+    f.hosts.push_back(h);
+    s = (s + 1) % 4;
+  }
+  return f;
+}
+
+}  // namespace sanfault::net

@@ -1,0 +1,123 @@
+// Static network structure: hosts, crossbar switches, full-duplex links.
+//
+// Topology is a pure graph — no simulated time — so it is unit-testable in
+// isolation and shared by the fabric (dynamics), the mappers (discovery), and
+// the benchmarks (scenario construction). Link and device up/down state lives
+// here because both the fabric and the mappers must observe the same truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/route.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::net {
+
+/// Physical characteristics of one link. Defaults model Myrinet LAN cables:
+/// 1.28 Gbit/s per direction, ~250 ns propagation (cable + SerDes).
+struct LinkModel {
+  double bandwidth_bps = 160.0e6;       // bytes/second, per direction
+  sim::Duration latency = 250;          // ns, head propagation per traversal
+};
+
+class Topology {
+ public:
+  HostId add_host();
+  SwitchId add_switch(std::uint8_t num_ports);
+
+  /// Connect two ports with a full-duplex link. Each port can carry at most
+  /// one link; reconnecting a used port throws.
+  LinkId connect(Port a, Port b, LinkModel model = {});
+
+  /// Remove the link from its ports (models physically unplugging a cable,
+  /// used to "move" a node in the dynamic-reconfiguration experiments).
+  void disconnect(LinkId l);
+
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] std::uint8_t switch_ports(SwitchId s) const {
+    return switches_[s.v].num_ports;
+  }
+
+  /// What is plugged into this device's port, if anything.
+  struct Attachment {
+    Port peer;
+    LinkId link;
+  };
+  [[nodiscard]] std::optional<Attachment> peer_of(Port p) const;
+
+  [[nodiscard]] const LinkModel& link_model(LinkId l) const {
+    return links_[l.v].model;
+  }
+  [[nodiscard]] std::pair<Port, Port> link_ends(LinkId l) const {
+    return {links_[l.v].a, links_[l.v].b};
+  }
+
+  // --- failure state -------------------------------------------------------
+  void set_link_up(LinkId l, bool up) { links_[l.v].up = up; }
+  [[nodiscard]] bool link_up(LinkId l) const {
+    return links_[l.v].up && !links_[l.v].disconnected;
+  }
+  /// A dead switch drops every packet that reaches it.
+  void set_switch_up(SwitchId s, bool up) { switches_[s.v].up = up; }
+  [[nodiscard]] bool switch_up(SwitchId s) const { return switches_[s.v].up; }
+
+  // --- route helpers -------------------------------------------------------
+  /// Shortest route (BFS over *currently up* links/switches) from one host to
+  /// another, as the port bytes the packet must carry. nullopt if unreachable.
+  [[nodiscard]] std::optional<Route> shortest_route(HostId from,
+                                                    HostId to) const;
+
+  /// Walk a route from a host; returns the device where the packet ends up
+  /// (ignoring up/down state), or nullopt if it falls off the fabric
+  /// (unconnected port / exhausted route at a switch / leftover route bytes).
+  [[nodiscard]] std::optional<Device> trace_route(HostId from,
+                                                  const Route& r) const;
+
+  /// Device sitting at the end of a route *prefix* from `from` — unlike
+  /// trace_route, running out of route bytes at a switch returns that
+  /// switch. Used as the mapper's "radix oracle" (operators know their
+  /// switch models; see OnDemandMapperConfig::radix_oracle).
+  [[nodiscard]] std::optional<Device> device_after(HostId from,
+                                                   const Route& r) const;
+
+ private:
+  struct HostRec {
+    std::optional<LinkId> link;  // hosts have exactly one port
+  };
+  struct SwitchRec {
+    std::uint8_t num_ports = 0;
+    bool up = true;
+    std::vector<std::optional<LinkId>> port_link;
+  };
+  struct LinkRec {
+    Port a, b;
+    LinkModel model;
+    bool up = true;
+    bool disconnected = false;
+  };
+
+  std::optional<LinkId>& port_slot(Port p);
+  [[nodiscard]] const std::optional<LinkId>* port_slot_const(Port p) const;
+
+  std::vector<HostRec> hosts_;
+  std::vector<SwitchRec> switches_;
+  std::vector<LinkRec> links_;
+};
+
+/// Build the paper's Figure-2 evaluation fabric: two 16-port and two 8-port
+/// full-crossbar switches in a redundant tree, with `num_hosts` hosts spread
+/// across the leaf switches. Returns the switch ids in creation order
+/// {sw16_a, sw16_b, sw8_a, sw8_b}.
+struct Figure2Fabric {
+  Topology topo;
+  std::vector<HostId> hosts;
+  SwitchId sw16_a, sw16_b, sw8_a, sw8_b;
+};
+Figure2Fabric make_figure2_fabric(std::size_t num_hosts);
+
+}  // namespace sanfault::net

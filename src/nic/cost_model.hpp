@@ -1,0 +1,69 @@
+// Cost model for the NIC (LANai-class control processor, PCI host DMA) and
+// the host-side library path.
+//
+// Every latency constant in the simulator lives here, calibrated in one place
+// against the paper's §6.1.1 headline numbers for the M2M-PCI64A-2 /
+// 450 MHz-PII platform:
+//   * 4-byte one-way latency ~8 us without fault tolerance, ~10 us with
+//     (~ +1 us on each of the send and receive paths),
+//   * large-message bandwidth ~120 MB/s, limited by the 32-bit PCI bus,
+//   * minimum round-trip ~16 us.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace sanfault::nic {
+
+/// Host-side (library + CPU + PCI) costs.
+struct HostCostModel {
+  /// Library overhead per send call (argument checks, descriptor build).
+  sim::Duration send_overhead = 800;
+  /// Programmed-I/O: host CPU writes the message into NIC SRAM directly.
+  sim::Duration pio_base = 400;
+  double pio_per_byte_ns = 12.5;
+  /// DMA setup by the host (descriptor post, doorbell).
+  sim::Duration dma_setup = 500;
+  /// PCI bus effective bandwidth, bytes/second (32-bit, 33 MHz, ~realistic
+  /// sustained efficiency). Shared by send and receive DMA of one NIC.
+  double pci_bandwidth_bps = 122.0e6;
+  /// Receive-side: notification delivery / status-word polling on the host.
+  sim::Duration rx_notify = 1000;
+  /// Messages at or below this many bytes go by PIO instead of DMA.
+  std::size_t pio_threshold = 32;
+};
+
+/// NIC-side (MCP firmware on the slow control processor) costs.
+struct NicCostModel {
+  /// Send path: address translation, header prep, send-DMA setup.
+  sim::Duration mcp_tx = 2600;
+  /// Receive path: buffer dequeue, header decode, receive-DMA setup.
+  sim::Duration mcp_rx = 1600;
+  /// Extra send-path work with reliability on: sequence assignment and
+  /// moving the buffer to the per-node retransmission queue.
+  sim::Duration mcp_tx_reliable = 1000;
+  /// Extra receive-path work with reliability on: sequence check and
+  /// acknowledgment scheduling.
+  sim::Duration mcp_rx_reliable = 1000;
+  /// Processing an incoming cumulative ACK (free all covered buffers:
+  /// one queue splice, per the paper's "single operation").
+  sim::Duration mcp_ack_process = 700;
+  /// Building + injecting an explicit ACK packet.
+  sim::Duration mcp_ack_build = 800;
+  /// Dropping an out-of-order packet (a dequeue, per the paper).
+  sim::Duration mcp_drop = 300;
+  /// Retransmission timer: fixed scan cost per firing...
+  sim::Duration timer_scan_base = 500;
+  /// ...plus per non-empty retransmission queue visited...
+  sim::Duration timer_scan_per_queue = 200;
+  /// ...plus per packet actually retransmitted (queue motion + DMA setup).
+  sim::Duration retransmit_per_packet = 1200;
+  /// Mapper: processing one probe / probe reply.
+  sim::Duration probe_process = 2000;
+  /// NIC send-buffer size: messages larger than this are segmented by the
+  /// MCP (paper: "each buffer has a fixed size of about 4 KBytes").
+  std::size_t buffer_bytes = 4096;
+};
+
+}  // namespace sanfault::nic

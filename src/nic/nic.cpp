@@ -1,0 +1,102 @@
+#include "nic/nic.hpp"
+
+#include <cassert>
+
+#include "net/crc.hpp"
+
+namespace sanfault::nic {
+
+namespace {
+/// Fixed cost to start the host DMA engine for one transfer.
+constexpr sim::Duration kDmaEngineStart = 300;
+}  // namespace
+
+Nic::Nic(sim::Scheduler& sched, net::Fabric& fabric, net::HostId self,
+         NicConfig cfg)
+    : sched_(sched),
+      fabric_(fabric),
+      self_(self),
+      cfg_(cfg),
+      cpu_(sched),
+      host_dma_(sched),
+      pool_(cfg.send_buffers, cfg.costs.buffer_bytes) {
+  fabric_.attach(self_, [this](net::Packet&& pkt) { on_fabric_rx(std::move(pkt)); });
+}
+
+void Nic::host_submit(SendRequest req, std::function<void()> on_accepted) {
+  assert(fw_ != nullptr && "firmware must be loaded before traffic");
+  assert(req.payload.size() <= cfg_.costs.buffer_bytes &&
+         "segmentation is the caller's job (VMMC segments at 4 KB)");
+  ++stats_.host_submits;
+
+  // Host library overhead, then block until a send buffer is free.
+  sched_.after(cfg_.host.send_overhead, [this, req = std::move(req),
+                                         on_accepted = std::move(on_accepted)]() mutable {
+    pool_.acquire([this, req = std::move(req),
+                   on_accepted = std::move(on_accepted)]() mutable {
+      const std::size_t bytes = req.payload.size();
+      auto to_cpu = [this, req = std::move(req),
+                     on_accepted = std::move(on_accepted)]() mutable {
+        if (on_accepted) on_accepted();
+        const sim::Duration cost = fw_->tx_cpu_cost(req);
+        cpu_.submit(cost, [this, req = std::move(req)]() mutable {
+          fw_->on_host_packet(std::move(req));
+        });
+      };
+      if (bytes <= cfg_.host.pio_threshold) {
+        // Programmed I/O: the host CPU stores the message into NIC SRAM.
+        ++stats_.pio_sends;
+        const auto pio = cfg_.host.pio_base +
+                         static_cast<sim::Duration>(
+                             cfg_.host.pio_per_byte_ns * static_cast<double>(bytes));
+        sched_.after(pio, std::move(to_cpu));
+      } else {
+        // DMA: host posts a descriptor; the PCI engine moves the data.
+        ++stats_.dma_sends;
+        sched_.after(cfg_.host.dma_setup, [this, bytes, to_cpu = std::move(to_cpu)]() mutable {
+          host_dma_.submit(
+              kDmaEngineStart +
+                  sim::transfer_time(bytes, cfg_.host.pci_bandwidth_bps),
+              std::move(to_cpu));
+        });
+      }
+    });
+  });
+}
+
+sim::Time Nic::inject(net::Packet pkt) {
+  ++stats_.wire_tx;
+  stats_.bytes_tx += pkt.payload.size();
+  return fabric_.inject(self_, std::move(pkt));
+}
+
+void Nic::on_fabric_rx(net::Packet&& pkt) {
+  ++stats_.wire_rx;
+  stats_.bytes_rx += pkt.payload.size();
+  // Hardware CRC check: the receive DMA recomputes the CRC on the fly, so
+  // this costs no control-processor time.
+  const bool crc_ok =
+      !pkt.corrupt_marker &&
+      net::crc32(std::span<const std::uint8_t>(pkt.payload)) == pkt.crc;
+  if (!crc_ok) ++stats_.crc_failures;
+  const sim::Duration cost = fw_->rx_cpu_cost(pkt);
+  cpu_.submit(cost, [this, pkt = std::move(pkt), crc_ok]() mutable {
+    fw_->on_wire_packet(std::move(pkt), crc_ok);
+  });
+}
+
+void Nic::deliver_to_host(net::Packet pkt) {
+  ++stats_.host_deliveries;
+  const std::size_t bytes = pkt.payload.size();
+  host_dma_.submit(
+      kDmaEngineStart + sim::transfer_time(bytes, cfg_.host.pci_bandwidth_bps),
+      [this, pkt = std::move(pkt)]() mutable {
+        sched_.after(cfg_.host.rx_notify, [this, pkt = std::move(pkt)]() mutable {
+          if (host_rx_) {
+            host_rx_(pkt.hdr.user, std::move(pkt.payload), pkt.hdr.src);
+          }
+        });
+      });
+}
+
+}  // namespace sanfault::nic

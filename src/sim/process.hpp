@@ -1,0 +1,39 @@
+// Coroutine "process" type for host-side simulated programs.
+//
+// Firmware in this codebase is event-driven (as real NIC firmware is), but
+// host programs — benchmark drivers, SVM applications — read much better as
+// sequential code. A Process is an eagerly-started, detached coroutine whose
+// frame frees itself on completion; synchronization with other processes goes
+// through sim::Trigger / sim::WaitGroup (awaitables.hpp).
+//
+// Lifetime rules: a Process must only suspend on simulator awaitables, and
+// the Scheduler must outlive every suspended Process. Processes are never
+// destroyed externally.
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+
+namespace sanfault::sim {
+
+class Process {
+ public:
+  struct promise_type {
+    Process get_return_object() noexcept { return Process{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    // suspend_never at the final point lets the frame destroy itself; the
+    // handle held by callers is never used after spawn.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      // An escaping exception inside simulated firmware/apps is a bug in the
+      // simulation itself; fail fast rather than corrupt the event queue.
+      std::fputs("sanfault: unhandled exception escaped a sim::Process\n",
+                 stderr);
+      std::terminate();
+    }
+  };
+};
+
+}  // namespace sanfault::sim

@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sanfault::sim {
+
+EventHandle Scheduler::at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::logic_error("Scheduler::at: time is in the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return EventHandle{id};
+}
+
+bool Scheduler::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return pending_ids_.erase(h.id()) > 0;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (pending_ids_.erase(ev.id) == 0) continue;  // was cancelled
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace sanfault::sim

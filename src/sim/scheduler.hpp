@@ -1,0 +1,93 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are (time, sequence) ordered callbacks. Sequence numbers break ties
+// FIFO so that same-timestamp events run in scheduling order, which keeps
+// every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sanfault::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. retransmission
+/// timers that are re-armed). Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` after `d` nanoseconds of simulated time.
+  EventHandle after(Duration d, std::function<void()> fn) {
+    return at(time_add(now_, d), std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid handle is a harmless no-op. Returns true if the event was
+  /// still pending and is now cancelled.
+  bool cancel(EventHandle h);
+
+  /// True if the event behind `h` has neither fired nor been cancelled.
+  [[nodiscard]] bool pending(EventHandle h) const {
+    return h.valid() && pending_ids_.contains(h.id());
+  }
+
+  /// Run the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= t, then advance the clock to t.
+  void run_until(Time t);
+
+  /// Run for `d` more nanoseconds of simulated time.
+  void run_for(Duration d) { run_until(time_add(now_, d)); }
+
+  [[nodiscard]] std::size_t pending_events() const { return pending_ids_.size(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sanfault::sim

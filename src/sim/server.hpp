@@ -1,0 +1,56 @@
+// FifoServer: a serially-reusable resource with FIFO service order.
+//
+// Models every "one thing at a time" device in the system — the slow NIC
+// control processor, each DMA engine, the PCI bus, a network link. Because
+// service is FIFO and service times are known at submission, the queue is
+// implicit: a job submitted at time t with service s completes at
+// max(t, free_at) + s. Queueing delay therefore emerges without storing a
+// queue, and utilization accounting is exact.
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::sim {
+
+class FifoServer {
+ public:
+  explicit FifoServer(Scheduler& sched) : sched_(sched) {}
+
+  /// Enqueue a job needing `service` time; `on_done` (optional) fires at
+  /// completion. Returns the completion time.
+  Time submit(Duration service, std::function<void()> on_done = {}) {
+    const Time start = free_at_ > sched_.now() ? free_at_ : sched_.now();
+    free_at_ = time_add(start, service);
+    busy_ += service;
+    ++jobs_;
+    if (on_done) sched_.at(free_at_, std::move(on_done));
+    return free_at_;
+  }
+
+  /// Time at which the server next becomes idle (may be in the past).
+  [[nodiscard]] Time free_at() const { return free_at_; }
+
+  [[nodiscard]] bool busy_now() const { return free_at_ > sched_.now(); }
+
+  /// Total service time dispensed so far.
+  [[nodiscard]] Duration busy_time() const { return busy_; }
+
+  [[nodiscard]] std::uint64_t jobs_served() const { return jobs_; }
+
+  /// Fraction of [0, horizon] the server was busy.
+  [[nodiscard]] double utilization(Time horizon) const {
+    return horizon == 0 ? 0.0
+                        : static_cast<double>(busy_) / static_cast<double>(horizon);
+  }
+
+ private:
+  Scheduler& sched_;
+  Time free_at_ = 0;
+  Duration busy_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace sanfault::sim

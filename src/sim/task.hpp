@@ -1,0 +1,131 @@
+// sim::Task<T>: a lazily-started, awaitable coroutine.
+//
+// Process (process.hpp) is fire-and-forget; Task is the composable building
+// block: a coroutine that returns a value to an awaiting parent via symmetric
+// transfer. Layered protocol code (mapper BFS, VMMC sends, SVM barriers) is
+// written as Tasks and driven from a top-level Process:
+//
+//   sim::Task<int> child();
+//   sim::Process parent(...) { int v = co_await child(); ... }
+//
+// Ownership: the Task object owns the coroutine frame; co_awaiting it hands
+// control to the child and destroys the frame when the Task goes out of
+// scope after completion. A Task must be awaited exactly once (or never —
+// then its frame is destroyed unstarted).
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace sanfault::sim {
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto c = h.promise().continuation;
+      return c ? c : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    std::fputs("sanfault: unhandled exception escaped a sim::Task\n", stderr);
+    std::terminate();
+  }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() { return std::move(*h.promise().value); }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace sanfault::sim

@@ -1,0 +1,43 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept as unsigned 64-bit nanoseconds. 2^64 ns is
+// ~584 years of simulated time, so overflow is not a practical concern; the
+// arithmetic helpers below still saturate on addition to keep "never"
+// (Time::max) stable as a sentinel.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sanfault::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+/// Relative simulated duration in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Sentinel meaning "never" / "not scheduled".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+constexpr Duration nanoseconds(std::uint64_t v) { return v; }
+constexpr Duration microseconds(std::uint64_t v) { return v * 1'000ull; }
+constexpr Duration milliseconds(std::uint64_t v) { return v * 1'000'000ull; }
+constexpr Duration seconds(std::uint64_t v) { return v * 1'000'000'000ull; }
+
+/// Saturating add so that kNever + anything stays kNever.
+constexpr Time time_add(Time t, Duration d) {
+  return (t > kNever - d) ? kNever : t + d;
+}
+
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+constexpr double to_micros(Duration d) { return static_cast<double>(d) * 1e-3; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) * 1e-6; }
+
+/// Duration needed to serialize `bytes` at `bytes_per_sec`, rounded up.
+constexpr Duration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+  return static_cast<Duration>(ns + 0.999999);
+}
+
+}  // namespace sanfault::sim

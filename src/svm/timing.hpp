@@ -1,0 +1,29 @@
+// Per-processor execution-time accounting, in the categories of the paper's
+// Figure 9: Barrier Time, Lock Time, Data (wait) Time, and Compute + Handler
+// Time.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace sanfault::svm {
+
+struct TimeBreakdown {
+  sim::Duration compute = 0;  // charged computation + protocol handler time
+  sim::Duration data = 0;     // waiting for remote pages / write-back acks
+  sim::Duration lock = 0;     // waiting for lock acquisition
+  sim::Duration barrier = 0;  // waiting at barriers
+
+  [[nodiscard]] sim::Duration total() const {
+    return compute + data + lock + barrier;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& o) {
+    compute += o.compute;
+    data += o.data;
+    lock += o.lock;
+    barrier += o.barrier;
+    return *this;
+  }
+};
+
+}  // namespace sanfault::svm

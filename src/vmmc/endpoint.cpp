@@ -1,0 +1,175 @@
+#include "vmmc/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sanfault::vmmc {
+
+namespace {
+// UserHeader word layout (the firmware/fabric never look inside):
+//   w0: [63..56] kind | [55] last-segment flag | [31..0] export id
+//   w1: byte offset of this segment in the export
+//   w2: sender tag (import protocol: nonce)
+//   w3: total message length (import protocol: granted size)
+constexpr std::uint64_t kKindShift = 56;
+constexpr std::uint64_t kLastBit = 1ull << 55;
+}  // namespace
+
+Endpoint::Endpoint(sim::Scheduler& sched, nic::Nic& nic)
+    : sched_(sched), nic_(nic) {
+  nic_.set_host_rx([this](net::UserHeader u, std::vector<std::uint8_t> p,
+                          net::HostId src) {
+    on_host_rx(u, std::move(p), src);
+  });
+}
+
+net::UserHeader Endpoint::encode(Kind kind, ExportId exp, bool last,
+                                 std::uint64_t offset, std::uint64_t tag,
+                                 std::uint64_t total) {
+  net::UserHeader u;
+  u.w0 = (static_cast<std::uint64_t>(kind) << kKindShift) |
+         (last ? kLastBit : 0) | exp;
+  u.w1 = offset;
+  u.w2 = tag;
+  u.w3 = total;
+  return u;
+}
+
+ExportId Endpoint::export_buffer(std::size_t bytes) {
+  const ExportId id = next_export_++;
+  ExportRec rec;
+  rec.data.assign(bytes, 0);
+  rec.notify = std::make_unique<sim::Channel<DepositEvent>>();
+  exports_.emplace(id, std::move(rec));
+  return id;
+}
+
+std::span<const std::uint8_t> Endpoint::buffer(ExportId id) const {
+  return exports_.at(id).data;
+}
+
+std::span<std::uint8_t> Endpoint::buffer_mut(ExportId id) {
+  return exports_.at(id).data;
+}
+
+sim::Channel<DepositEvent>& Endpoint::notifications(ExportId id) {
+  return *exports_.at(id).notify;
+}
+
+sim::Task<std::optional<Endpoint::Import>> Endpoint::import(net::HostId remote,
+                                                            ExportId exp) {
+  PendingImport pend;
+  const std::uint64_t nonce = next_nonce_++;
+  pending_imports_[nonce] = &pend;
+
+  nic::SendRequest req;
+  req.dst = remote;
+  req.user = encode(Kind::kImportReq, exp, true, 0, nonce, 0);
+  nic_.host_submit(std::move(req));
+
+  co_await pend.done.wait(sched_);
+  pending_imports_.erase(nonce);
+  if (!pend.granted) {
+    ++stats_.imports_denied;
+    co_return std::nullopt;
+  }
+  ++stats_.imports_ok;
+  co_return Import{remote, exp, static_cast<std::size_t>(pend.size)};
+}
+
+sim::Task<void> Endpoint::send(Import imp, std::size_t offset,
+                               std::vector<std::uint8_t> data,
+                               std::uint64_t tag) {
+  ++stats_.sends;
+  const std::size_t seg = nic_.costs().buffer_bytes;
+  const std::size_t total = data.size();
+  std::size_t pos = 0;
+  do {
+    const std::size_t n = std::min(seg, total - pos);
+    const bool last = (pos + n >= total);
+    nic::SendRequest req;
+    req.dst = imp.remote;
+    req.user = encode(Kind::kDeposit, imp.exp, last, offset + pos, tag, total);
+    req.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                       data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    ++stats_.segments_tx;
+    stats_.bytes_tx += n;
+
+    sim::Trigger accepted;
+    nic_.host_submit(std::move(req),
+                     [this, &accepted] { accepted.fire(sched_); });
+    co_await accepted.wait(sched_);
+    pos += n;
+  } while (pos < total);
+}
+
+void Endpoint::on_host_rx(net::UserHeader u, std::vector<std::uint8_t> payload,
+                          net::HostId src) {
+  const auto kind = static_cast<Kind>(u.w0 >> kKindShift);
+  switch (kind) {
+    case Kind::kDeposit:
+      handle_deposit(u, std::move(payload), src);
+      return;
+    case Kind::kImportReq: {
+      const auto exp = static_cast<ExportId>(u.w0 & 0xFFFFFFFFull);
+      const auto it = exports_.find(exp);
+      nic::SendRequest resp;
+      resp.dst = src;
+      resp.user = encode(Kind::kImportResp, exp, true, 0, /*tag=*/u.w2,
+                         it == exports_.end()
+                             ? 0
+                             : static_cast<std::uint64_t>(it->second.data.size()));
+      // Grant iff the export exists; size 0 doubles as the denial marker
+      // (VMMC exports are always non-empty).
+      resp.user.w1 = (it != exports_.end()) ? 1 : 0;
+      nic_.host_submit(std::move(resp));
+      return;
+    }
+    case Kind::kImportResp: {
+      const auto it = pending_imports_.find(u.w2);
+      if (it == pending_imports_.end()) return;  // duplicate/stale response
+      it->second->granted = (u.w1 != 0);
+      it->second->size = u.w3;
+      it->second->done.fire(sched_);
+      return;
+    }
+    default:
+      ++stats_.rejected_rx;
+      return;
+  }
+}
+
+void Endpoint::handle_deposit(net::UserHeader u,
+                              std::vector<std::uint8_t> payload,
+                              net::HostId src) {
+  const auto exp = static_cast<ExportId>(u.w0 & 0xFFFFFFFFull);
+  const auto it = exports_.find(exp);
+  if (it == exports_.end()) {
+    ++stats_.rejected_rx;
+    return;
+  }
+  auto& buf = it->second.data;
+  const std::uint64_t offset = u.w1;
+  if (offset + payload.size() > buf.size()) {
+    ++stats_.rejected_rx;  // protection violation: out of exported bounds
+    return;
+  }
+  std::copy(payload.begin(), payload.end(),
+            buf.begin() + static_cast<std::ptrdiff_t>(offset));
+  ++stats_.segments_rx;
+  stats_.bytes_rx += payload.size();
+
+  if (u.w0 & kLastBit) {
+    ++stats_.deposits_rx;
+    DepositEvent ev;
+    ev.at = sched_.now();
+    ev.src = src;
+    ev.exp = exp;
+    ev.length = u.w3;
+    ev.offset = offset + payload.size() - u.w3;
+    ev.tag = u.w2;
+    it->second.notify->push(sched_, ev);
+  }
+}
+
+}  // namespace sanfault::vmmc

@@ -1,0 +1,129 @@
+// Virtual Memory-Mapped Communication (VMMC) endpoint — the user-level
+// communication layer of the paper's platform (§3.2).
+//
+// Programming model:
+//  * the receiver *exports* regions of its address space it is willing to
+//    accept data into;
+//  * a sender *imports* a remote exported buffer (a control-message round
+//    trip validating id and size);
+//  * send() deposits bytes directly into the imported remote buffer at a
+//    given offset — no receiver-side software on the data path. The MCP
+//    segments messages larger than the 4 KB NIC buffer;
+//  * an optional notification fires at the receiver when the last segment of
+//    a message lands.
+//
+// The endpoint is protection-checked the way VMMC is: deposits to unknown
+// export ids or out-of-bounds offsets are rejected (counted, not delivered).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "nic/nic.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace sanfault::vmmc {
+
+using ExportId = std::uint32_t;
+
+/// Receiver-side notification: a complete message landed in an export.
+struct DepositEvent {
+  sim::Time at = 0;
+  net::HostId src;
+  ExportId exp = 0;
+  std::uint64_t offset = 0;  // where the message starts in the export
+  std::uint64_t length = 0;  // total message length (all segments)
+  std::uint64_t tag = 0;     // sender-chosen tag
+};
+
+struct EndpointStats {
+  std::uint64_t sends = 0;
+  std::uint64_t segments_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t deposits_rx = 0;   // complete messages
+  std::uint64_t segments_rx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t rejected_rx = 0;   // bad export id / out of bounds
+  std::uint64_t imports_ok = 0;
+  std::uint64_t imports_denied = 0;
+};
+
+class Endpoint {
+ public:
+  Endpoint(sim::Scheduler& sched, nic::Nic& nic);
+
+  /// Export `bytes` of receive space. Returns the id importers use.
+  ExportId export_buffer(std::size_t bytes);
+
+  [[nodiscard]] std::span<const std::uint8_t> buffer(ExportId id) const;
+  [[nodiscard]] std::span<std::uint8_t> buffer_mut(ExportId id);
+
+  /// Awaitable stream of complete-message notifications for one export.
+  [[nodiscard]] sim::Channel<DepositEvent>& notifications(ExportId id);
+
+  /// A remote buffer this endpoint may deposit into.
+  struct Import {
+    net::HostId remote;
+    ExportId exp = 0;
+    std::size_t size = 0;
+  };
+
+  /// Import a remote export (control-message round trip). nullopt if the
+  /// exporter denies (no such export).
+  sim::Task<std::optional<Import>> import(net::HostId remote, ExportId exp);
+
+  /// Deposit `data` into the imported buffer at `offset`. Segments at the
+  /// NIC buffer size; resumes when the last segment has been accepted by the
+  /// NIC (the blocking library call returns, the source buffer is reusable).
+  /// `tag` rides along and is visible in the receiver's DepositEvent.
+  sim::Task<void> send(Import imp, std::size_t offset,
+                       std::vector<std::uint8_t> data, std::uint64_t tag = 0);
+
+  [[nodiscard]] const EndpointStats& stats() const { return stats_; }
+  [[nodiscard]] net::HostId host() const { return nic_.self(); }
+  [[nodiscard]] nic::Nic& nic() { return nic_; }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kDeposit = 1,
+    kImportReq = 2,
+    kImportResp = 3,
+  };
+
+  struct ExportRec {
+    std::vector<std::uint8_t> data;
+    std::unique_ptr<sim::Channel<DepositEvent>> notify;
+  };
+
+  struct PendingImport {
+    sim::Trigger done;
+    std::uint64_t size = 0;
+    bool granted = false;
+  };
+
+  static net::UserHeader encode(Kind kind, ExportId exp, bool last,
+                                std::uint64_t offset, std::uint64_t tag,
+                                std::uint64_t total);
+
+  void on_host_rx(net::UserHeader u, std::vector<std::uint8_t> payload,
+                  net::HostId src);
+  void handle_deposit(net::UserHeader u, std::vector<std::uint8_t> payload,
+                      net::HostId src);
+
+  sim::Scheduler& sched_;
+  nic::Nic& nic_;
+  std::unordered_map<ExportId, ExportRec> exports_;
+  std::unordered_map<std::uint64_t, PendingImport*> pending_imports_;
+  ExportId next_export_ = 1;
+  std::uint64_t next_nonce_ = 1;
+  EndpointStats stats_;
+};
+
+}  // namespace sanfault::vmmc

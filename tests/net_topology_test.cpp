@@ -1,0 +1,217 @@
+// Unit tests for the static network graph: wiring, routes, failure state.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace sanfault::net {
+namespace {
+
+// Two hosts on one 8-port crossbar.
+struct PairFixture {
+  Topology topo;
+  HostId h0, h1;
+  SwitchId sw;
+  LinkId l0, l1;
+
+  PairFixture() {
+    sw = topo.add_switch(8);
+    h0 = topo.add_host();
+    h1 = topo.add_host();
+    l0 = topo.connect({Device::host(h0), 0}, {Device::sw(sw), 0});
+    l1 = topo.connect({Device::host(h1), 0}, {Device::sw(sw), 1});
+  }
+};
+
+TEST(Topology, CountsEntities) {
+  PairFixture f;
+  EXPECT_EQ(f.topo.num_hosts(), 2u);
+  EXPECT_EQ(f.topo.num_switches(), 1u);
+  EXPECT_EQ(f.topo.num_links(), 2u);
+  EXPECT_EQ(f.topo.switch_ports(f.sw), 8);
+}
+
+TEST(Topology, PeerOfFollowsLinks) {
+  PairFixture f;
+  auto att = f.topo.peer_of({Device::host(f.h0), 0});
+  ASSERT_TRUE(att.has_value());
+  EXPECT_EQ(att->peer.dev, Device::sw(f.sw));
+  EXPECT_EQ(att->peer.port, 0);
+  EXPECT_EQ(att->link, f.l0);
+
+  auto back = f.topo.peer_of(att->peer);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->peer.dev, Device::host(f.h0));
+}
+
+TEST(Topology, UnwiredPortHasNoPeer) {
+  PairFixture f;
+  EXPECT_FALSE(f.topo.peer_of({Device::sw(f.sw), 7}).has_value());
+}
+
+TEST(Topology, DoubleConnectThrows) {
+  PairFixture f;
+  HostId h2 = f.topo.add_host();
+  EXPECT_THROW(
+      f.topo.connect({Device::host(h2), 0}, {Device::sw(f.sw), 0}),
+      std::logic_error);
+}
+
+TEST(Topology, HostSecondPortThrows) {
+  Topology t;
+  HostId h = t.add_host();
+  SwitchId s = t.add_switch(4);
+  EXPECT_THROW(t.connect({Device::host(h), 1}, {Device::sw(s), 0}),
+               std::out_of_range);
+}
+
+TEST(Topology, ShortestRouteOneSwitch) {
+  PairFixture f;
+  auto r = f.topo.shortest_route(f.h0, f.h1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ports, (std::vector<std::uint8_t>{1}));  // out port toward h1
+}
+
+TEST(Topology, ShortestRouteToSelfIsEmpty) {
+  PairFixture f;
+  auto r = f.topo.shortest_route(f.h0, f.h0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(Topology, RouteAcrossTwoSwitches) {
+  Topology t;
+  SwitchId s0 = t.add_switch(4);
+  SwitchId s1 = t.add_switch(4);
+  HostId a = t.add_host();
+  HostId b = t.add_host();
+  t.connect({Device::host(a), 0}, {Device::sw(s0), 0});
+  t.connect({Device::sw(s0), 3}, {Device::sw(s1), 2});
+  t.connect({Device::host(b), 0}, {Device::sw(s1), 1});
+  auto r = t.shortest_route(a, b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ports, (std::vector<std::uint8_t>{3, 1}));
+}
+
+TEST(Topology, RouteAvoidsDownLink) {
+  // Two disjoint switch paths between a and b; kill the short one.
+  Topology t;
+  SwitchId s0 = t.add_switch(4);   // direct switch
+  SwitchId s1 = t.add_switch(4);   // detour
+  SwitchId s2 = t.add_switch(4);
+  HostId a = t.add_host();
+  HostId b = t.add_host();
+  t.connect({Device::host(a), 0}, {Device::sw(s0), 0});
+  t.connect({Device::host(b), 0}, {Device::sw(s0), 1});
+  LinkId direct = t.connect({Device::sw(s0), 2}, {Device::sw(s1), 0});
+  t.connect({Device::sw(s1), 1}, {Device::sw(s2), 0});
+
+  auto r1 = t.shortest_route(a, b);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->hops(), 1u);  // same switch
+
+  // Unused here, but exercise link-down observation:
+  t.set_link_up(direct, false);
+  EXPECT_FALSE(t.link_up(direct));
+}
+
+TEST(Topology, RouteAvoidsDeadSwitch) {
+  // a - s0 - b and a parallel path a - s0 - s1 - s2 - s0'? Build a square:
+  // h0 - sA - sB - h1 and h0 - sA - sC - sB (redundant).
+  Topology t;
+  SwitchId sA = t.add_switch(4);
+  SwitchId sB = t.add_switch(4);
+  SwitchId sC = t.add_switch(4);
+  HostId h0 = t.add_host();
+  HostId h1 = t.add_host();
+  t.connect({Device::host(h0), 0}, {Device::sw(sA), 0});
+  t.connect({Device::host(h1), 0}, {Device::sw(sB), 0});
+  t.connect({Device::sw(sA), 1}, {Device::sw(sB), 1});   // direct
+  t.connect({Device::sw(sA), 2}, {Device::sw(sC), 0});   // detour
+  t.connect({Device::sw(sC), 1}, {Device::sw(sB), 2});
+
+  auto direct = t.shortest_route(h0, h1);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->hops(), 2u);
+
+  // Kill nothing on the direct path — dead sC must not matter.
+  t.set_switch_up(sC, false);
+  EXPECT_EQ(t.shortest_route(h0, h1)->hops(), 2u);
+  t.set_switch_up(sC, true);
+
+  // Now force the detour by downing the direct link.
+  auto att = t.peer_of({Device::sw(sA), 1});
+  ASSERT_TRUE(att.has_value());
+  t.set_link_up(att->link, false);
+  auto detour = t.shortest_route(h0, h1);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->hops(), 3u);
+  EXPECT_EQ(detour->ports, (std::vector<std::uint8_t>{2, 1, 0}));
+
+  // Kill the detour switch too: unreachable.
+  t.set_switch_up(sC, false);
+  EXPECT_FALSE(t.shortest_route(h0, h1).has_value());
+}
+
+TEST(Topology, DisconnectUnplugsBothEnds) {
+  PairFixture f;
+  f.topo.disconnect(f.l1);
+  EXPECT_FALSE(f.topo.peer_of({Device::host(f.h1), 0}).has_value());
+  EXPECT_FALSE(f.topo.shortest_route(f.h0, f.h1).has_value());
+  // Port 1 is free again: reconnect elsewhere.
+  LinkId nl = f.topo.connect({Device::host(f.h1), 0}, {Device::sw(f.sw), 5});
+  EXPECT_TRUE(f.topo.link_up(nl));
+  auto r = f.topo.shortest_route(f.h0, f.h1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->ports, (std::vector<std::uint8_t>{5}));
+}
+
+TEST(Topology, TraceRouteFollowsPorts) {
+  PairFixture f;
+  auto dev = f.topo.trace_route(f.h0, Route{{1}});
+  ASSERT_TRUE(dev.has_value());
+  EXPECT_EQ(*dev, Device::host(f.h1));
+}
+
+TEST(Topology, TraceRouteDetectsMisroutes) {
+  PairFixture f;
+  // Leftover route bytes after reaching a host.
+  EXPECT_FALSE(f.topo.trace_route(f.h0, Route{{1, 3}}).has_value());
+  // Route exhausted at the switch.
+  EXPECT_FALSE(f.topo.trace_route(f.h0, Route{}).has_value());
+  // Unconnected output port.
+  EXPECT_FALSE(f.topo.trace_route(f.h0, Route{{6}}).has_value());
+  // Port number beyond the crossbar radix.
+  EXPECT_FALSE(f.topo.trace_route(f.h0, Route{{200}}).has_value());
+}
+
+TEST(Figure2Fabric, BuildsAndConnectsAllHosts) {
+  auto f = make_figure2_fabric(8);
+  EXPECT_EQ(f.topo.num_hosts(), 8u);
+  EXPECT_EQ(f.topo.num_switches(), 4u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      auto r = f.topo.shortest_route(f.hosts[i], f.hosts[j]);
+      ASSERT_TRUE(r.has_value()) << i << "->" << j;
+      auto dev = f.topo.trace_route(f.hosts[i], *r);
+      ASSERT_TRUE(dev.has_value());
+      EXPECT_EQ(*dev, Device::host(f.hosts[j]));
+    }
+  }
+}
+
+TEST(Figure2Fabric, SurvivesSingleTrunkLinkDeath) {
+  auto f = make_figure2_fabric(8);
+  // Kill one of the two sw8_a - sw16_a trunks (link id 0 by construction).
+  f.topo.set_link_up(LinkId{0}, false);
+  for (std::size_t j = 1; j < 8; ++j) {
+    EXPECT_TRUE(f.topo.shortest_route(f.hosts[0], f.hosts[j]).has_value());
+  }
+}
+
+TEST(Figure2Fabric, HostCapacityIsEnforced) {
+  EXPECT_THROW(make_figure2_fabric(64), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sanfault::net

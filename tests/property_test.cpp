@@ -1,0 +1,223 @@
+// Randomized property tests (seed-parameterized, deterministic per seed):
+//  * random connected fabrics: BFS shortest routes always deliver, and
+//    UP*/DOWN* routes are legal and complete wherever BFS reaches;
+//  * random loss patterns: the reliable firmware delivers exactly-once
+//    in-order on a random fabric;
+//  * random VMMC deposit patterns equal a golden memory model, with the
+//    error-injection drop plan active.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "firmware/raw.hpp"
+#include "firmware/reliability.hpp"
+#include "firmware/updown.hpp"
+#include "harness/cluster.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "vmmc/endpoint.hpp"
+
+namespace sanfault {
+namespace {
+
+/// A random connected fabric: 16-port switches in a random tree plus a few
+/// redundant cross links, hosts on the free ports.
+struct RandomFabric {
+  net::Topology topo;
+  std::vector<net::HostId> hosts;
+};
+
+RandomFabric make_random_fabric(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  RandomFabric f;
+  const std::size_t ns = 3 + rng.uniform(5);   // 3..7 switches
+  const std::size_t nh = 4 + rng.uniform(9);   // 4..12 hosts
+
+  std::vector<net::SwitchId> sws;
+  std::vector<std::uint8_t> next_port(ns, 0);
+  for (std::size_t i = 0; i < ns; ++i) sws.push_back(f.topo.add_switch(16));
+  auto take_port = [&](std::size_t s) {
+    return net::Port{net::Device::sw(sws[s]), next_port[s]++};
+  };
+  for (std::size_t i = 1; i < ns; ++i) {
+    f.topo.connect(take_port(rng.uniform(i)), take_port(i));
+  }
+  for (std::size_t e = 0; e + 1 < ns; ++e) {  // redundancy => cycles
+    const std::size_t x = rng.uniform(ns);
+    const std::size_t y = rng.uniform(ns);
+    if (x != y) f.topo.connect(take_port(x), take_port(y));
+  }
+  for (std::size_t h = 0; h < nh; ++h) {
+    const std::size_t s = rng.uniform(ns);
+    auto host = f.topo.add_host();
+    f.topo.connect(net::Port{net::Device::host(host), 0}, take_port(s));
+    f.hosts.push_back(host);
+  }
+  return f;
+}
+
+class RandomFabricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFabricProperty, ShortestRoutesAlwaysDeliver) {
+  RandomFabric f = make_random_fabric(GetParam());
+  for (auto a : f.hosts) {
+    for (auto b : f.hosts) {
+      if (a == b) continue;
+      auto r = f.topo.shortest_route(a, b);
+      ASSERT_TRUE(r.has_value()) << a.v << "->" << b.v << " (connected fabric)";
+      auto end = f.topo.trace_route(a, *r);
+      ASSERT_TRUE(end.has_value());
+      EXPECT_EQ(*end, net::Device::host(b));
+    }
+  }
+}
+
+TEST_P(RandomFabricProperty, UpDownRoutesLegalAndComplete) {
+  RandomFabric f = make_random_fabric(GetParam());
+  firmware::UpDownRouting ud(f.topo);
+  for (auto a : f.hosts) {
+    for (auto b : f.hosts) {
+      if (a == b) continue;
+      auto r = ud.route(a, b);
+      // Complete: every BFS-reachable pair has a legal UP*/DOWN* route on a
+      // connected fabric.
+      ASSERT_TRUE(r.has_value()) << a.v << "->" << b.v;
+      auto end = f.topo.trace_route(a, *r);
+      ASSERT_TRUE(end.has_value());
+      EXPECT_EQ(*end, net::Device::host(b));
+      // Legal: no up-link after the first down-link.
+      auto att = f.topo.peer_of({net::Device::host(a), 0});
+      net::Device cur = att->peer.dev;
+      bool gone_down = false;
+      for (std::uint8_t p : r->ports) {
+        auto hop = f.topo.peer_of({cur, p});
+        ASSERT_TRUE(hop.has_value());
+        const bool up = ud.is_up(hop->link, cur);
+        if (up) {
+          EXPECT_FALSE(gone_down) << "down->up transition " << a.v << "->" << b.v;
+        } else {
+          gone_down = true;
+        }
+        cur = hop->peer.dev;
+      }
+    }
+  }
+}
+
+TEST_P(RandomFabricProperty, RawFabricDeliversAlongComputedRoutes) {
+  RandomFabric f = make_random_fabric(GetParam());
+  sim::Rng rng(GetParam() ^ 0xFAB);
+  sim::Scheduler sched;
+  net::Fabric fabric(sched, f.topo, {});
+  std::vector<int> got(f.topo.num_hosts(), 0);
+  for (auto h : f.hosts) {
+    fabric.attach(h, [&got, h](net::Packet&&) { ++got[h.v]; });
+  }
+  int sent = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = f.hosts[rng.uniform(f.hosts.size())];
+    const auto b = f.hosts[rng.uniform(f.hosts.size())];
+    if (a == b) continue;
+    net::Packet p;
+    p.hdr.src = a;
+    p.hdr.dst = b;
+    p.hdr.route = *f.topo.shortest_route(a, b);
+    p.payload.assign(rng.uniform(2048), 0x77);
+    fabric.inject(a, std::move(p));
+    ++sent;
+  }
+  sched.run();
+  EXPECT_EQ(fabric.stats().delivered, static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(fabric.stats().dropped_total(), 0u);
+}
+
+TEST_P(RandomFabricProperty, ReliableExactlyOnceOnRandomFabricWithLoss) {
+  RandomFabric f = make_random_fabric(GetParam());
+  sim::Rng rng(GetParam() ^ 0x10);
+  sim::Scheduler sched;
+  net::FabricConfig fc;
+  fc.seed = GetParam();
+  net::Fabric fabric(sched, f.topo, fc);
+  // Lossy wires everywhere.
+  for (std::uint32_t l = 0; l < f.topo.num_links(); ++l) {
+    fabric.link_faults(net::LinkId{l}).loss_prob = 0.05;
+    fabric.link_faults(net::LinkId{l}).corrupt_prob = 0.02;
+  }
+  const auto src = f.hosts[rng.uniform(f.hosts.size())];
+  auto dst = src;
+  while (dst == src) dst = f.hosts[rng.uniform(f.hosts.size())];
+
+  nic::Nic nic_a(sched, fabric, src, {});
+  nic::Nic nic_b(sched, fabric, dst, {});
+  firmware::ReliableFirmware fw_a(nic_a, {});
+  firmware::ReliableFirmware fw_b(nic_b, {});
+  fw_a.routes().populate_all(f.topo, src);
+  fw_b.routes().populate_all(f.topo, dst);
+
+  std::vector<std::uint64_t> tags;
+  nic_b.set_host_rx([&tags](net::UserHeader u, std::vector<std::uint8_t>,
+                            net::HostId) { tags.push_back(u.w0); });
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    nic::SendRequest req;
+    req.dst = dst;
+    req.user.w0 = i;
+    req.payload.assign(200, static_cast<std::uint8_t>(i));
+    nic_a.host_submit(std::move(req));
+  }
+  sched.run_until(sim::seconds(60));
+  ASSERT_EQ(tags.size(), 60u);
+  for (std::uint64_t i = 0; i < 60; ++i) EXPECT_EQ(tags[i], i);
+}
+
+TEST_P(RandomFabricProperty, VmmcDepositsMatchGoldenMemoryModel) {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.rel.drop_interval = 25;
+  cfg.rel.drop_seed = GetParam();
+  harness::Cluster c(cfg);
+  vmmc::Endpoint tx(c.sched, c.nic(0));
+  vmmc::Endpoint rx(c.sched, c.nic(1));
+  constexpr std::size_t kExportBytes = 32 * 1024;
+  auto exp = rx.export_buffer(kExportBytes);
+
+  std::vector<std::uint8_t> golden(kExportBytes, 0);
+  bool done = false;
+  [](harness::Cluster& c, vmmc::Endpoint& tx, vmmc::ExportId exp,
+     std::vector<std::uint8_t>& golden, std::uint64_t seed,
+     bool& done) -> sim::Process {
+    sim::Rng rng(seed ^ 0xDE90517);
+    auto imp = co_await tx.import(c.hosts[1], exp);
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t len = 1 + rng.uniform(9000);
+      const std::size_t off = rng.uniform(golden.size() - len);
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      // Deposits from one sender are ordered, so the golden model can apply
+      // them immediately in submission order.
+      for (std::size_t k = 0; k < len; ++k) golden[off + k] = data[k];
+      co_await tx.send(*imp, off, std::move(data));
+    }
+    done = true;
+  }(c, tx, exp, golden, GetParam(), done);
+
+  const sim::Time deadline = sim::seconds(120);
+  while (!done && c.sched.now() < deadline && c.sched.step()) {
+  }
+  ASSERT_TRUE(done);
+  // Let trailing segments land.
+  c.sched.run_until(c.sched.now() + sim::seconds(5));
+  const auto buf = rx.buffer(exp);
+  const std::vector<std::uint8_t> got(buf.begin(), buf.end());
+  EXPECT_EQ(got, golden);
+  EXPECT_GT(c.rel(0).stats().injected_drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFabricProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace sanfault

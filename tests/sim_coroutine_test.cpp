@@ -1,0 +1,281 @@
+// Unit tests for sim::Process coroutines and the awaitable primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/awaitables.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sanfault::sim {
+namespace {
+
+Process sleeper(Scheduler& s, Duration d, Time& woke) {
+  co_await DelayFor{s, d};
+  woke = s.now();
+}
+
+TEST(Coroutine, DelayResumesAtRightTime) {
+  Scheduler s;
+  Time woke = kNever;
+  sleeper(s, microseconds(5), woke);
+  s.run();
+  EXPECT_EQ(woke, microseconds(5));
+}
+
+Process chained_sleeper(Scheduler& s, std::vector<Time>& marks) {
+  marks.push_back(s.now());
+  co_await DelayFor{s, 10};
+  marks.push_back(s.now());
+  co_await DelayFor{s, 20};
+  marks.push_back(s.now());
+}
+
+TEST(Coroutine, SequentialDelaysAccumulate) {
+  Scheduler s;
+  std::vector<Time> marks;
+  chained_sleeper(s, marks);
+  s.run();
+  EXPECT_EQ(marks, (std::vector<Time>{0, 10, 30}));
+}
+
+TEST(Coroutine, ZeroDelayStillYields) {
+  Scheduler s;
+  std::vector<int> order;
+  [](Scheduler& sc, std::vector<int>& o) -> Process {
+    o.push_back(1);
+    co_await DelayFor{sc, 0};
+    o.push_back(3);
+  }(s, order);
+  order.push_back(2);  // runs before the coroutine's post-yield half
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+Process wait_on(Scheduler& s, Trigger& t, Time& woke) {
+  co_await t.wait(s);
+  woke = s.now();
+}
+
+TEST(Trigger, WakesAllWaiters) {
+  Scheduler s;
+  Trigger t;
+  Time w1 = kNever;
+  Time w2 = kNever;
+  wait_on(s, t, w1);
+  wait_on(s, t, w2);
+  s.at(100, [&] { t.fire(s); });
+  s.run();
+  EXPECT_EQ(w1, 100u);
+  EXPECT_EQ(w2, 100u);
+}
+
+TEST(Trigger, LatchedFireWakesLateWaiters) {
+  Scheduler s;
+  Trigger t;
+  Time woke = kNever;
+  s.at(10, [&] { t.fire(s); });
+  s.at(50, [&] { wait_on(s, t, woke); });
+  s.run();
+  EXPECT_EQ(woke, 50u);  // already fired: no extra wait
+}
+
+TEST(Trigger, DoubleFireIsIdempotent) {
+  Scheduler s;
+  Trigger t;
+  Time woke = kNever;
+  wait_on(s, t, woke);
+  s.at(10, [&] { t.fire(s); });
+  s.at(20, [&] { t.fire(s); });
+  s.run();
+  EXPECT_EQ(woke, 10u);
+}
+
+TEST(Trigger, ResetReArms) {
+  Scheduler s;
+  Trigger t;
+  Time w1 = kNever;
+  Time w2 = kNever;
+  wait_on(s, t, w1);
+  s.at(10, [&] { t.fire(s); });
+  s.at(20, [&] {
+    t.reset();
+    wait_on(s, t, w2);
+  });
+  s.at(30, [&] { t.fire(s); });
+  s.run();
+  EXPECT_EQ(w1, 10u);
+  EXPECT_EQ(w2, 30u);
+}
+
+Process worker(Scheduler& s, WaitGroup& wg, Duration d) {
+  co_await DelayFor{s, d};
+  wg.done(s);
+}
+
+Process joiner(Scheduler& s, WaitGroup& wg, Time& joined) {
+  co_await wg.wait(s);
+  joined = s.now();
+}
+
+TEST(WaitGroup, JoinsSlowestWorker) {
+  Scheduler s;
+  WaitGroup wg;
+  wg.add(3);
+  worker(s, wg, 10);
+  worker(s, wg, 50);
+  worker(s, wg, 30);
+  Time joined = kNever;
+  joiner(s, wg, joined);
+  s.run();
+  EXPECT_EQ(joined, 50u);
+}
+
+TEST(WaitGroup, EmptyGroupJoinsImmediately) {
+  Scheduler s;
+  WaitGroup wg;
+  Time joined = kNever;
+  joiner(s, wg, joined);
+  s.run();
+  EXPECT_EQ(joined, 0u);
+}
+
+TEST(WaitGroup, ReusableAfterDrain) {
+  Scheduler s;
+  WaitGroup wg;
+  Time j1 = kNever;
+  Time j2 = kNever;
+  wg.add(1);
+  worker(s, wg, 10);
+  joiner(s, wg, j1);
+  s.at(20, [&] {
+    wg.add(1);
+    worker(s, wg, 10);
+    joiner(s, wg, j2);
+  });
+  s.run();
+  EXPECT_EQ(j1, 10u);
+  EXPECT_EQ(j2, 30u);
+}
+
+Process acquirer(Scheduler& s, Semaphore& sem, Duration hold,
+                 std::vector<Time>& got) {
+  co_await sem.acquire(s);
+  got.push_back(s.now());
+  co_await DelayFor{s, hold};
+  sem.release(s);
+}
+
+TEST(Semaphore, SerializesWhenCountIsOne) {
+  Scheduler s;
+  Semaphore sem(1);
+  std::vector<Time> got;
+  acquirer(s, sem, 10, got);
+  acquirer(s, sem, 10, got);
+  acquirer(s, sem, 10, got);
+  s.run();
+  EXPECT_EQ(got, (std::vector<Time>{0, 10, 20}));
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Semaphore, AllowsConcurrencyUpToCount) {
+  Scheduler s;
+  Semaphore sem(2);
+  std::vector<Time> got;
+  acquirer(s, sem, 10, got);
+  acquirer(s, sem, 10, got);
+  acquirer(s, sem, 10, got);
+  s.run();
+  EXPECT_EQ(got, (std::vector<Time>{0, 0, 10}));
+}
+
+TEST(Semaphore, FifoWakeupOrder) {
+  Scheduler s;
+  Semaphore sem(0);
+  std::vector<Time> got;
+  acquirer(s, sem, 5, got);
+  acquirer(s, sem, 5, got);
+  EXPECT_EQ(sem.waiting(), 2u);
+  s.at(100, [&] { sem.release(s); });
+  s.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 100u);
+  EXPECT_EQ(got[1], 105u);
+}
+
+Process consumer(Scheduler& s, Channel<int>& c, std::vector<std::pair<Time, int>>& seen,
+                 int n) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await c.pop(s);
+    seen.emplace_back(s.now(), v);
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Scheduler s;
+  Channel<int> c;
+  std::vector<std::pair<Time, int>> seen;
+  consumer(s, c, seen, 3);
+  s.at(10, [&] {
+    c.push(s, 1);
+    c.push(s, 2);
+  });
+  s.at(20, [&] { c.push(s, 3); });
+  s.run();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<Time, int>{10, 1}));
+  EXPECT_EQ(seen[1], (std::pair<Time, int>{10, 2}));
+  EXPECT_EQ(seen[2], (std::pair<Time, int>{20, 3}));
+}
+
+TEST(Channel, PopBeforePushSuspends) {
+  Scheduler s;
+  Channel<std::string> c;
+  std::vector<std::pair<Time, std::string>> seen;
+  [](Scheduler& sc, Channel<std::string>& ch,
+     std::vector<std::pair<Time, std::string>>& out) -> Process {
+    std::string v = co_await ch.pop(sc);
+    out.emplace_back(sc.now(), v);
+  }(s, c, seen);
+  s.at(42, [&] { c.push(s, "hello"); });
+  s.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 42u);
+  EXPECT_EQ(seen[0].second, "hello");
+}
+
+TEST(Channel, MultipleConsumersEachGetOneValue) {
+  Scheduler s;
+  Channel<int> c;
+  std::vector<std::pair<Time, int>> seen;
+  consumer(s, c, seen, 1);
+  consumer(s, c, seen, 1);
+  s.at(10, [&] {
+    c.push(s, 7);
+    c.push(s, 8);
+  });
+  s.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].second, 7);
+  EXPECT_EQ(seen[1].second, 8);
+}
+
+TEST(Channel, BufferedValuesSurviveUntilPopped) {
+  Scheduler s;
+  Channel<int> c;
+  s.at(0, [&] {
+    c.push(s, 1);
+    c.push(s, 2);
+  });
+  s.run();
+  EXPECT_EQ(c.size(), 2u);
+  std::vector<std::pair<Time, int>> seen;
+  consumer(s, c, seen, 2);
+  s.run();
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(c.empty());
+}
+
+}  // namespace
+}  // namespace sanfault::sim

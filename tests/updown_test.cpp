@@ -1,0 +1,138 @@
+// Tests for UP*/DOWN* routing: legality, coverage, failure adaptation.
+#include <gtest/gtest.h>
+
+#include "firmware/updown.hpp"
+#include "net/topology.hpp"
+
+namespace sanfault::firmware {
+namespace {
+
+using net::Device;
+using net::HostId;
+using net::Port;
+
+// Verify a route is legal UP*/DOWN*: once it takes a down-link it never goes
+// up again, and it actually arrives.
+void expect_legal_and_delivers(const net::Topology& topo,
+                               const UpDownRouting& ud, HostId from,
+                               HostId to, const net::Route& r) {
+  auto end = topo.trace_route(from, r);
+  ASSERT_TRUE(end.has_value()) << "route falls off the fabric";
+  EXPECT_EQ(*end, Device::host(to));
+
+  // Re-walk the route checking link directions.
+  auto att = topo.peer_of(Port{Device::host(from), 0});
+  ASSERT_TRUE(att.has_value());
+  Device cur = att->peer.dev;
+  bool gone_down = false;
+  for (std::uint8_t p : r.ports) {
+    ASSERT_TRUE(cur.is_switch());
+    const bool up = ud.is_up(topo.peer_of(Port{cur, p})->link, cur);
+    if (up) {
+      EXPECT_FALSE(gone_down) << "illegal down->up transition";
+    } else {
+      gone_down = true;
+    }
+    cur = topo.peer_of(Port{cur, p})->peer.dev;
+  }
+}
+
+TEST(UpDown, SingleSwitchRoutesAllPairs) {
+  net::Topology t;
+  auto sw = t.add_switch(8);
+  std::vector<HostId> hosts;
+  for (int i = 0; i < 4; ++i) {
+    auto h = t.add_host();
+    t.connect({Device::host(h), 0}, {Device::sw(sw), static_cast<std::uint8_t>(i)});
+    hosts.push_back(h);
+  }
+  UpDownRouting ud(t);
+  for (auto a : hosts) {
+    for (auto b : hosts) {
+      if (a == b) continue;
+      auto r = ud.route(a, b);
+      ASSERT_TRUE(r.has_value());
+      expect_legal_and_delivers(t, ud, a, b, *r);
+      EXPECT_EQ(r->hops(), 1u);
+    }
+  }
+}
+
+TEST(UpDown, Figure2AllPairsLegal) {
+  auto f = net::make_figure2_fabric(8);
+  UpDownRouting ud(f.topo);
+  for (auto a : f.hosts) {
+    for (auto b : f.hosts) {
+      if (a == b) continue;
+      auto r = ud.route(a, b);
+      ASSERT_TRUE(r.has_value()) << a.v << "->" << b.v;
+      expect_legal_and_delivers(f.topo, ud, a, b, *r);
+    }
+  }
+}
+
+TEST(UpDown, LevelsDescendFromRoot) {
+  auto f = net::make_figure2_fabric(4);
+  UpDownRouting ud(f.topo);
+  // Root is switch 0 (sw8_a).
+  EXPECT_EQ(ud.level(Device::sw(f.sw8_a)), 0);
+  EXPECT_EQ(ud.level(Device::sw(f.sw16_a)), 1);
+  EXPECT_EQ(ud.level(Device::sw(f.sw16_b)), 2);
+  EXPECT_EQ(ud.level(Device::sw(f.sw8_b)), 3);
+  // Hosts sit one below their switch.
+  EXPECT_EQ(ud.level(Device::host(f.hosts[0])), 1);  // on sw8_a
+}
+
+TEST(UpDown, RecomputeAfterLinkFailureFindsDetour) {
+  auto f = net::make_figure2_fabric(8);
+  // hosts[0] on sw8_a, hosts[3] on sw8_b: path uses the trunks.
+  {
+    UpDownRouting ud(f.topo);
+    auto r = ud.route(f.hosts[0], f.hosts[3]);
+    ASSERT_TRUE(r.has_value());
+    expect_legal_and_delivers(f.topo, ud, f.hosts[0], f.hosts[3], *r);
+  }
+  // Kill one trunk of each redundant pair; routes must still exist.
+  f.topo.set_link_up(net::LinkId{0}, false);  // sw8_a-sw16_a first trunk
+  f.topo.set_link_up(net::LinkId{2}, false);  // sw16_a-sw16_b first trunk
+  f.topo.set_link_up(net::LinkId{4}, false);  // sw16_b-sw8_b first trunk
+  UpDownRouting ud2(f.topo);
+  auto r2 = ud2.route(f.hosts[0], f.hosts[3]);
+  ASSERT_TRUE(r2.has_value());
+  expect_legal_and_delivers(f.topo, ud2, f.hosts[0], f.hosts[3], *r2);
+}
+
+TEST(UpDown, UnreachableAfterPartition) {
+  auto f = net::make_figure2_fabric(8);
+  // Sever sw16_a - sw16_b entirely: left and right halves split.
+  f.topo.set_link_up(net::LinkId{2}, false);
+  f.topo.set_link_up(net::LinkId{3}, false);
+  UpDownRouting ud(f.topo);
+  // hosts[0] (sw8_a, left) cannot reach hosts[2] (sw16_b, right).
+  EXPECT_FALSE(ud.route(f.hosts[0], f.hosts[2]).has_value());
+  // But left-side pairs still work.
+  auto r = ud.route(f.hosts[0], f.hosts[1]);  // hosts[1] on sw16_a
+  ASSERT_TRUE(r.has_value());
+  expect_legal_and_delivers(f.topo, ud, f.hosts[0], f.hosts[1], *r);
+}
+
+TEST(UpDown, RouteToSelfIsEmpty) {
+  auto f = net::make_figure2_fabric(4);
+  UpDownRouting ud(f.topo);
+  auto r = ud.route(f.hosts[0], f.hosts[0]);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(UpDown, DeadSwitchExcluded) {
+  auto f = net::make_figure2_fabric(8);
+  f.topo.set_switch_up(f.sw16_b, false);
+  UpDownRouting ud(f.topo);
+  // hosts[2] hangs off the dead switch: unreachable.
+  EXPECT_FALSE(ud.route(f.hosts[0], f.hosts[2]).has_value());
+  // Left-half pairs fine.
+  EXPECT_TRUE(ud.route(f.hosts[0], f.hosts[1]).has_value());
+}
+
+}  // namespace
+}  // namespace sanfault::firmware

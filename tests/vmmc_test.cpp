@@ -1,0 +1,294 @@
+// Tests for the VMMC layer: export/import protection, direct deposit,
+// segmentation, notifications, and behavior over the reliable firmware with
+// injected faults. Also validates the micro-benchmark harness against the
+// paper's §6.1.1 calibration numbers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "harness/cluster.hpp"
+#include "harness/microbench.hpp"
+#include "sim/process.hpp"
+#include "vmmc/endpoint.hpp"
+
+namespace sanfault {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+using harness::FirmwareKind;
+
+struct VmmcRig {
+  Cluster c;
+  vmmc::Endpoint a;
+  vmmc::Endpoint b;
+
+  explicit VmmcRig(ClusterConfig cfg = make_default())
+      : c(cfg), a(c.sched, c.nic(0)), b(c.sched, c.nic(1)) {}
+
+  static ClusterConfig make_default() {
+    ClusterConfig cfg;
+    cfg.num_hosts = 2;
+    cfg.fw = FirmwareKind::kReliable;
+    return cfg;
+  }
+
+  /// Run the scheduler until `flag` is set (firmware timers never drain).
+  void drive(const bool& flag, sim::Duration cap = sim::seconds(300)) {
+    const sim::Time deadline = c.sched.now() + cap;
+    while (!flag && c.sched.now() < deadline && c.sched.step()) {
+    }
+    ASSERT_TRUE(flag) << "drive() hit the safety cap";
+  }
+};
+
+TEST(Vmmc, ImportGrantReportsSize) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(8192);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    EXPECT_TRUE(imp.has_value());
+    EXPECT_EQ(imp->size, 8192u);
+    EXPECT_EQ(imp->remote, r.c.hosts[1]);
+    done = true;
+  }(r, done);
+  r.drive(done);
+  EXPECT_EQ(r.a.stats().imports_ok, 1u);
+}
+
+TEST(Vmmc, ImportOfUnknownExportDenied) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto imp = co_await r.a.import(r.c.hosts[1], vmmc::ExportId{999});
+    EXPECT_FALSE(imp.has_value());
+    done = true;
+  }(r, done);
+  r.drive(done);
+  EXPECT_EQ(r.a.stats().imports_denied, 1u);
+}
+
+TEST(Vmmc, DepositWritesExactBytesAtOffset) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(256);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    EXPECT_TRUE(imp.has_value());
+    std::vector<std::uint8_t> data(32);
+    std::iota(data.begin(), data.end(), std::uint8_t{1});
+    co_await r.a.send(*imp, 100, data, /*tag=*/42);
+    auto ev = co_await r.b.notifications(exp).pop(r.c.sched);
+    EXPECT_EQ(ev.offset, 100u);
+    EXPECT_EQ(ev.length, 32u);
+    EXPECT_EQ(ev.tag, 42u);
+    EXPECT_EQ(ev.src, r.c.hosts[0]);
+    auto buf = r.b.buffer(exp);
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(buf[100 + i], i + 1);
+    }
+    EXPECT_EQ(buf[99], 0);   // bytes around the deposit untouched
+    EXPECT_EQ(buf[132], 0);
+    done = true;
+  }(r, done);
+  r.drive(done);
+}
+
+TEST(Vmmc, LargeMessageSegmentsAt4K) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(64 * 1024);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    std::vector<std::uint8_t> data(20000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    co_await r.a.send(*imp, 0, data);
+    auto ev = co_await r.b.notifications(exp).pop(r.c.sched);
+    EXPECT_EQ(ev.length, 20000u);
+    EXPECT_EQ(ev.offset, 0u);
+    auto buf = r.b.buffer(exp);
+    const std::vector<std::uint8_t> got(buf.begin(), buf.begin() + data.size());
+    EXPECT_EQ(got, data);
+    done = true;
+  }(r, done);
+  r.drive(done);
+  // 20000 bytes => 5 segments (4x4096 + 3616); the import handshake does not
+  // count as data segments.
+  EXPECT_EQ(r.a.stats().segments_tx, 5u);
+}
+
+TEST(Vmmc, OutOfBoundsDepositRejected) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(64);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    // Lie about the offset: deposit would overflow the export.
+    co_await r.a.send(*imp, 60, std::vector<std::uint8_t>(16, 0xFF));
+    co_await sim::DelayFor{r.c.sched, sim::milliseconds(1)};
+    done = true;
+  }(r, done);
+  r.drive(done);
+  EXPECT_EQ(r.b.stats().rejected_rx, 1u);
+  EXPECT_EQ(r.b.stats().deposits_rx, 0u);
+}
+
+TEST(Vmmc, UnknownExportDepositRejected) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    vmmc::Endpoint::Import forged{r.c.hosts[1], vmmc::ExportId{777}, 1024};
+    co_await r.a.send(forged, 0, std::vector<std::uint8_t>(16, 1));
+    co_await sim::DelayFor{r.c.sched, sim::milliseconds(1)};
+    done = true;
+  }(r, done);
+  r.drive(done);
+  EXPECT_EQ(r.b.stats().rejected_rx, 1u);
+}
+
+TEST(Vmmc, ZeroByteMessageNotifies) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(16);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    co_await r.a.send(*imp, 0, {}, /*tag=*/5);
+    auto ev = co_await r.b.notifications(exp).pop(r.c.sched);
+    EXPECT_EQ(ev.length, 0u);
+    EXPECT_EQ(ev.tag, 5u);
+    done = true;
+  }(r, done);
+  r.drive(done);
+}
+
+TEST(Vmmc, ManyMessagesInterleavedTagsOrdered) {
+  VmmcRig r;
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(4096);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      co_await r.a.send(*imp, 0, std::vector<std::uint8_t>(64, 1), i);
+    }
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      auto ev = co_await r.b.notifications(exp).pop(r.c.sched);
+      EXPECT_EQ(ev.tag, i);  // VMMC preserves point-to-point order
+    }
+    done = true;
+  }(r, done);
+  r.drive(done);
+}
+
+TEST(Vmmc, SegmentedTransferSurvivesInjectedDrops) {
+  auto cfg = VmmcRig::make_default();
+  cfg.rel.drop_interval = 4;  // brutal
+  VmmcRig r(cfg);
+  bool done = false;
+  [](VmmcRig& r, bool& done) -> sim::Process {
+    auto exp = r.b.export_buffer(64 * 1024);
+    auto imp = co_await r.a.import(r.c.hosts[1], exp);
+    std::vector<std::uint8_t> data(50000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i ^ (i >> 8));
+    }
+    co_await r.a.send(*imp, 0, data);
+    (void)co_await r.b.notifications(exp).pop(r.c.sched);
+    auto buf = r.b.buffer(exp);
+    const std::vector<std::uint8_t> got(buf.begin(), buf.begin() + data.size());
+    EXPECT_EQ(got, data);
+    done = true;
+  }(r, done);
+  r.drive(done);
+  EXPECT_GT(r.c.rel(0).stats().injected_drops, 0u);
+}
+
+// --- micro-benchmark calibration against §6.1.1 ----------------------------
+
+TEST(Microbench, LatencyWithFtNear10us) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = FirmwareKind::kReliable;
+  Cluster c(cfg);
+  auto r = harness::run_latency(c, 4, 30);
+  EXPECT_GT(r.one_way_us(), 8.5);
+  EXPECT_LT(r.one_way_us(), 11.5);
+}
+
+TEST(Microbench, LatencyWithoutFtNear8us) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = FirmwareKind::kRaw;
+  Cluster c(cfg);
+  auto r = harness::run_latency(c, 4, 30);
+  EXPECT_GT(r.one_way_us(), 7.0);
+  EXPECT_LT(r.one_way_us(), 9.0);
+}
+
+TEST(Microbench, FtLatencyOverheadUnder2p1usUpTo64B) {
+  for (std::size_t bytes : {4u, 8u, 16u, 32u, 64u}) {
+    ClusterConfig raw_cfg;
+    raw_cfg.num_hosts = 2;
+    raw_cfg.fw = FirmwareKind::kRaw;
+    Cluster craw(raw_cfg);
+    auto raw = harness::run_latency(craw, bytes, 20);
+
+    ClusterConfig ft_cfg;
+    ft_cfg.num_hosts = 2;
+    ft_cfg.fw = FirmwareKind::kReliable;
+    Cluster cft(ft_cfg);
+    auto ft = harness::run_latency(cft, bytes, 20);
+
+    EXPECT_LE(ft.one_way_us() - raw.one_way_us(), 2.1)
+        << "message size " << bytes;
+  }
+}
+
+TEST(Microbench, UnidirectionalBandwidthNear120MBs) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = FirmwareKind::kReliable;
+  Cluster c(cfg);
+  auto r = harness::run_unidirectional_bw(c, 64 * 1024, 40);
+  EXPECT_GT(r.mbytes_per_sec(), 100.0);
+  EXPECT_LT(r.mbytes_per_sec(), 135.0);
+}
+
+TEST(Microbench, FtBandwidthOverheadUnder4PercentAbove4K) {
+  for (std::size_t bytes : {4096u, 16384u, 65536u}) {
+    ClusterConfig raw_cfg;
+    raw_cfg.num_hosts = 2;
+    raw_cfg.fw = FirmwareKind::kRaw;
+    Cluster craw(raw_cfg);
+    auto raw = harness::run_unidirectional_bw(craw, bytes, 30);
+
+    ClusterConfig ft_cfg;
+    ft_cfg.num_hosts = 2;
+    ft_cfg.fw = FirmwareKind::kReliable;
+    Cluster cft(ft_cfg);
+    auto ft = harness::run_unidirectional_bw(cft, bytes, 30);
+
+    const double loss =
+        (raw.mbytes_per_sec() - ft.mbytes_per_sec()) / raw.mbytes_per_sec();
+    EXPECT_LT(loss, 0.04) << "message size " << bytes;
+  }
+}
+
+TEST(Microbench, PingPongBandwidthRampsWithMessageSize) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = FirmwareKind::kReliable;
+  double prev = 0;
+  for (std::size_t bytes : {256u, 4096u, 65536u}) {
+    Cluster c(cfg);
+    auto r = harness::run_pingpong_bw(c, bytes, 20);
+    EXPECT_GT(r.mbytes_per_sec(), prev);
+    prev = r.mbytes_per_sec();
+  }
+  EXPECT_GT(prev, 80.0);  // large ping-pong approaches the PCI plateau
+}
+
+}  // namespace
+}  // namespace sanfault
