@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_latency_bandwidth.cpp" "bench/CMakeFiles/bench_fig4_latency_bandwidth.dir/bench_fig4_latency_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_latency_bandwidth.dir/bench_fig4_latency_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/san_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/san_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/san_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/san_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/san_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/san_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/san_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/san_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_interval_noerrors.dir/bench_fig5_interval_noerrors.cpp.o"
+  "CMakeFiles/bench_fig5_interval_noerrors.dir/bench_fig5_interval_noerrors.cpp.o.d"
+  "bench_fig5_interval_noerrors"
+  "bench_fig5_interval_noerrors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_interval_noerrors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

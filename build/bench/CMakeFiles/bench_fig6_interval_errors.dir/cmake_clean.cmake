@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_interval_errors.dir/bench_fig6_interval_errors.cpp.o"
+  "CMakeFiles/bench_fig6_interval_errors.dir/bench_fig6_interval_errors.cpp.o.d"
+  "bench_fig6_interval_errors"
+  "bench_fig6_interval_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_interval_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_queue_noerrors.dir/bench_fig7_queue_noerrors.cpp.o"
+  "CMakeFiles/bench_fig7_queue_noerrors.dir/bench_fig7_queue_noerrors.cpp.o.d"
+  "bench_fig7_queue_noerrors"
+  "bench_fig7_queue_noerrors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_queue_noerrors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_queue_errors.dir/bench_fig8_queue_errors.cpp.o"
+  "CMakeFiles/bench_fig8_queue_errors.dir/bench_fig8_queue_errors.cpp.o.d"
+  "bench_fig8_queue_errors"
+  "bench_fig8_queue_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_queue_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_applications.dir/bench_fig9_applications.cpp.o"
+  "CMakeFiles/bench_fig9_applications.dir/bench_fig9_applications.cpp.o.d"
+  "bench_fig9_applications"
+  "bench_fig9_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

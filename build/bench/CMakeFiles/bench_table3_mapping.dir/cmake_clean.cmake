@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mapping.dir/bench_table3_mapping.cpp.o"
+  "CMakeFiles/bench_table3_mapping.dir/bench_table3_mapping.cpp.o.d"
+  "bench_table3_mapping"
+  "bench_table3_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_demo.dir/mapping_demo.cpp.o"
+  "CMakeFiles/mapping_demo.dir/mapping_demo.cpp.o.d"
+  "mapping_demo"
+  "mapping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

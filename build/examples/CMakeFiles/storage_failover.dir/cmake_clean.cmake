@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_failover.dir/storage_failover.cpp.o"
+  "CMakeFiles/storage_failover.dir/storage_failover.cpp.o.d"
+  "storage_failover"
+  "storage_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_cluster_compute.dir/svm_cluster_compute.cpp.o"
+  "CMakeFiles/svm_cluster_compute.dir/svm_cluster_compute.cpp.o.d"
+  "svm_cluster_compute"
+  "svm_cluster_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_cluster_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

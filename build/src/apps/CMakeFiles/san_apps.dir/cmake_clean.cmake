@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_apps.dir/fft.cpp.o"
+  "CMakeFiles/san_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/san_apps.dir/radix.cpp.o"
+  "CMakeFiles/san_apps.dir/radix.cpp.o.d"
+  "CMakeFiles/san_apps.dir/water.cpp.o"
+  "CMakeFiles/san_apps.dir/water.cpp.o.d"
+  "libsan_apps.a"
+  "libsan_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

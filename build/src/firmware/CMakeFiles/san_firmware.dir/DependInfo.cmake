@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/mapper_full.cpp" "src/firmware/CMakeFiles/san_firmware.dir/mapper_full.cpp.o" "gcc" "src/firmware/CMakeFiles/san_firmware.dir/mapper_full.cpp.o.d"
+  "/root/repo/src/firmware/mapper_ondemand.cpp" "src/firmware/CMakeFiles/san_firmware.dir/mapper_ondemand.cpp.o" "gcc" "src/firmware/CMakeFiles/san_firmware.dir/mapper_ondemand.cpp.o.d"
+  "/root/repo/src/firmware/reliability.cpp" "src/firmware/CMakeFiles/san_firmware.dir/reliability.cpp.o" "gcc" "src/firmware/CMakeFiles/san_firmware.dir/reliability.cpp.o.d"
+  "/root/repo/src/firmware/updown.cpp" "src/firmware/CMakeFiles/san_firmware.dir/updown.cpp.o" "gcc" "src/firmware/CMakeFiles/san_firmware.dir/updown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nic/CMakeFiles/san_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/san_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/san_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

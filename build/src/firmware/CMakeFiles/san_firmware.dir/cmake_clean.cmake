@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_firmware.dir/mapper_full.cpp.o"
+  "CMakeFiles/san_firmware.dir/mapper_full.cpp.o.d"
+  "CMakeFiles/san_firmware.dir/mapper_ondemand.cpp.o"
+  "CMakeFiles/san_firmware.dir/mapper_ondemand.cpp.o.d"
+  "CMakeFiles/san_firmware.dir/reliability.cpp.o"
+  "CMakeFiles/san_firmware.dir/reliability.cpp.o.d"
+  "CMakeFiles/san_firmware.dir/updown.cpp.o"
+  "CMakeFiles/san_firmware.dir/updown.cpp.o.d"
+  "libsan_firmware.a"
+  "libsan_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

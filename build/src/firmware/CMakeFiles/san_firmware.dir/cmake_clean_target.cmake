@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsan_firmware.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for san_firmware.
+# This may be replaced when dependencies are built.

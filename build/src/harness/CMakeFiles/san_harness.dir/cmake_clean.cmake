@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_harness.dir/microbench.cpp.o"
+  "CMakeFiles/san_harness.dir/microbench.cpp.o.d"
+  "libsan_harness.a"
+  "libsan_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

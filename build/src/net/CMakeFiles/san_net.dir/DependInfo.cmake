@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/crc.cpp" "src/net/CMakeFiles/san_net.dir/crc.cpp.o" "gcc" "src/net/CMakeFiles/san_net.dir/crc.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/san_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/san_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/san_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/san_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/san_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

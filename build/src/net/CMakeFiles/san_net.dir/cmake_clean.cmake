@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_net.dir/crc.cpp.o"
+  "CMakeFiles/san_net.dir/crc.cpp.o.d"
+  "CMakeFiles/san_net.dir/fabric.cpp.o"
+  "CMakeFiles/san_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/san_net.dir/topology.cpp.o"
+  "CMakeFiles/san_net.dir/topology.cpp.o.d"
+  "libsan_net.a"
+  "libsan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

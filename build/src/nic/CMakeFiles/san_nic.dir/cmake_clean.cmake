@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_nic.dir/nic.cpp.o"
+  "CMakeFiles/san_nic.dir/nic.cpp.o.d"
+  "libsan_nic.a"
+  "libsan_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/san_sim.dir/scheduler.cpp.o.d"
+  "libsan_sim.a"
+  "libsan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_svm.dir/runtime.cpp.o"
+  "CMakeFiles/san_svm.dir/runtime.cpp.o.d"
+  "libsan_svm.a"
+  "libsan_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for san_svm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_vmmc.dir/endpoint.cpp.o"
+  "CMakeFiles/san_vmmc.dir/endpoint.cpp.o.d"
+  "libsan_vmmc.a"
+  "libsan_vmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

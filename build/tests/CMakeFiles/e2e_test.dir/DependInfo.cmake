@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/e2e_test.cpp" "tests/CMakeFiles/e2e_test.dir/e2e_test.cpp.o" "gcc" "tests/CMakeFiles/e2e_test.dir/e2e_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svm/CMakeFiles/san_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/san_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/san_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/san_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/san_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/san_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/san_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_test.dir/mapper_test.cpp.o"
+  "CMakeFiles/mapper_test.dir/mapper_test.cpp.o.d"
+  "mapper_test"
+  "mapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o"
+  "CMakeFiles/net_fabric_test.dir/net_fabric_test.cpp.o.d"
+  "net_fabric_test"
+  "net_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_test.dir/nic_test.cpp.o"
+  "CMakeFiles/nic_test.dir/nic_test.cpp.o.d"
+  "nic_test"
+  "nic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_coroutine_test.dir/sim_coroutine_test.cpp.o"
+  "CMakeFiles/sim_coroutine_test.dir/sim_coroutine_test.cpp.o.d"
+  "sim_coroutine_test"
+  "sim_coroutine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_coroutine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

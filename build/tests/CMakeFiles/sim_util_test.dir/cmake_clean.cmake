@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_util_test.dir/sim_util_test.cpp.o"
+  "CMakeFiles/sim_util_test.dir/sim_util_test.cpp.o.d"
+  "sim_util_test"
+  "sim_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

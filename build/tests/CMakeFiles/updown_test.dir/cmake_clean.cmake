@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updown_test.dir/updown_test.cpp.o"
+  "CMakeFiles/updown_test.dir/updown_test.cpp.o.d"
+  "updown_test"
+  "updown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

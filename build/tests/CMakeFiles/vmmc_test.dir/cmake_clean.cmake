@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmc_test.dir/vmmc_test.cpp.o"
+  "CMakeFiles/vmmc_test.dir/vmmc_test.cpp.o.d"
+  "vmmc_test"
+  "vmmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
