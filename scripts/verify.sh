@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full test suite.
+# This is the exact command gate a change must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

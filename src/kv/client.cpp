@@ -1,0 +1,98 @@
+#include "kv/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sanfault::kv {
+
+KvClientHost::KvClientHost(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
+                           const ShardMap& map)
+    : sched_(sched), msgs_(msgs), map_(map) {}
+
+void KvClientHost::start() { pump(); }
+
+sim::Process KvClientHost::pump() {
+  for (;;) {
+    vmmc::Msg m = co_await msgs_.inbox().pop(sched_);
+    auto rep = decode_reply(m.bytes);
+    if (!rep) {
+      ++stats_.bad_msgs;
+      continue;
+    }
+    auto it = pending_.find(rep->id.packed());
+    if (it == pending_.end()) {
+      ++stats_.stale_replies;  // the call already gave up
+      continue;
+    }
+    if (it->second->replied) {
+      ++stats_.dup_replies;  // retry answered twice; first one won
+      continue;
+    }
+    it->second->replied = true;
+    it->second->reply = std::move(*rep);
+    it->second->done.fire(sched_);
+  }
+}
+
+sim::Task<Outcome> KvClientHost::call(RequestId id, Op op, std::uint64_t key,
+                                      std::vector<std::uint8_t> value,
+                                      const KvRetryPolicy& policy) {
+  ++stats_.calls;
+  Outcome o;
+  o.id = id;
+  o.issued_at = sched_.now();
+
+  Request q;
+  q.op = op;
+  q.id = id;
+  q.key = key;
+  q.reply_to = host().v;
+  q.value = std::move(value);
+  const auto wire = encode(q);
+
+  const std::size_t shard = map_.shard_of(key);
+  net::HostId target = map_.primary(shard);
+  const net::HostId backup = map_.backup(shard);
+
+  PendingCall pc;
+  pending_[id.packed()] = &pc;
+  sim::Duration timeout = policy.base_timeout;
+  int consecutive_timeouts = 0;
+
+  while (!pc.replied && o.attempts < policy.max_attempts) {
+    ++o.attempts;
+    ++stats_.posts;
+    co_await msgs_.post(target, wire);
+    if (pc.replied) break;  // landed while the post was being accepted
+    auto timer = sched_.after(timeout, [this, &pc] { pc.done.fire(sched_); });
+    co_await pc.done.wait(sched_);
+    sched_.cancel(timer);
+    pc.done.reset();
+    if (pc.replied) break;
+
+    ++stats_.timeouts;
+    if (++consecutive_timeouts == policy.failover_after && target != backup) {
+      target = backup;
+      ++o.failovers;
+      ++stats_.failovers;
+    }
+    timeout = std::min(timeout * 2, policy.max_timeout);
+  }
+  pending_.erase(id.packed());
+
+  o.completed_at = sched_.now();
+  if (pc.replied) {
+    o.status = pc.reply.status;
+    o.value = std::move(pc.reply.value);
+  } else {
+    o.status = Status::kTimeout;
+  }
+  if (o.ok()) {
+    ++stats_.ok;
+  } else {
+    ++stats_.failed;
+  }
+  co_return o;
+}
+
+}  // namespace sanfault::kv

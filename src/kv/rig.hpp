@@ -1,0 +1,134 @@
+// KvRig: one-stop assembly of a complete KV service deployment on the
+// simulated SAN — cluster (topology, NICs, firmware), one VMMC endpoint and
+// message endpoint per host, KvServers on the first `num_servers` hosts,
+// KvClientHosts on the next `num_client_hosts`, and the shared ShardMap.
+// The constructor also runs the full import-handshake mesh to completion,
+// so a freshly built rig is immediately ready to serve.
+//
+// Benchmarks, tests and examples all build their service runs from this,
+// mirroring how harness::Cluster anchors the paper-figure experiments.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "kv/client.hpp"
+#include "kv/server.hpp"
+#include "kv/shard_map.hpp"
+#include "sim/process.hpp"
+#include "vmmc/endpoint.hpp"
+#include "vmmc/rpc.hpp"
+
+namespace sanfault::kv {
+
+struct KvRigConfig {
+  std::size_t num_servers = 4;
+  std::size_t num_client_hosts = 4;
+  std::size_t num_shards = 32;
+  std::uint64_t map_seed = 0x5a4dull;
+  /// Per-sender ring partition in every host's message endpoint; one
+  /// message (request incl. value) must fit.
+  std::size_t ring_per_peer = 64 * 1024;
+  KvServerConfig server;
+  /// Cluster knobs; num_hosts is overwritten with servers + client hosts.
+  harness::ClusterConfig cluster;
+};
+
+class KvRig {
+ public:
+  explicit KvRig(KvRigConfig cfg)
+      : cfg_(fix(std::move(cfg))), c(cfg_.cluster) {
+    const std::size_t n = c.size();
+    std::vector<net::HostId> server_hosts(
+        c.hosts.begin(),
+        c.hosts.begin() + static_cast<std::ptrdiff_t>(cfg_.num_servers));
+    map = std::make_unique<ShardMap>(std::move(server_hosts), cfg_.num_shards,
+                                     /*vnodes=*/16, cfg_.map_seed);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      eps.push_back(std::make_unique<vmmc::Endpoint>(c.sched, c.nic(i)));
+      msgs.push_back(std::make_unique<vmmc::MsgEndpoint>(
+          c.sched, *eps.back(), cfg_.ring_per_peer, /*max_peers=*/n));
+    }
+    for (std::size_t i = 0; i < cfg_.num_servers; ++i) {
+      servers.push_back(
+          std::make_unique<KvServer>(c.sched, *msgs[i], *map, cfg_.server));
+    }
+    for (std::size_t i = 0; i < cfg_.num_client_hosts; ++i) {
+      clients.push_back(std::make_unique<KvClientHost>(
+          c.sched, *msgs[cfg_.num_servers + i], *map));
+    }
+
+    connect_mesh();
+    for (auto& s : servers) s->start();
+    for (auto& ch : clients) ch->start();
+  }
+
+  [[nodiscard]] const KvRigConfig& config() const { return cfg_; }
+  [[nodiscard]] KvClientHost& client(std::size_t i) { return *clients.at(i); }
+  [[nodiscard]] KvServer& server(std::size_t i) { return *servers.at(i); }
+  [[nodiscard]] std::vector<const KvServer*> server_view() const {
+    std::vector<const KvServer*> v;
+    for (const auto& s : servers) v.push_back(s.get());
+    return v;
+  }
+  [[nodiscard]] std::vector<KvClientHost*> client_view() {
+    std::vector<KvClientHost*> v;
+    for (const auto& ch : clients) v.push_back(ch.get());
+    return v;
+  }
+  /// True once every server has no write awaiting replication.
+  [[nodiscard]] bool servers_idle() const {
+    for (const auto& s : servers) {
+      if (!s->idle()) return false;
+    }
+    return true;
+  }
+
+  KvRigConfig cfg_;
+  harness::Cluster c;
+  std::unique_ptr<ShardMap> map;
+  std::vector<std::unique_ptr<vmmc::Endpoint>> eps;
+  std::vector<std::unique_ptr<vmmc::MsgEndpoint>> msgs;
+  std::vector<std::unique_ptr<KvServer>> servers;
+  std::vector<std::unique_ptr<KvClientHost>> clients;
+
+ private:
+  static KvRigConfig fix(KvRigConfig cfg) {
+    cfg.cluster.num_hosts = cfg.num_servers + cfg.num_client_hosts;
+    return cfg;
+  }
+
+  // Servers talk to everyone (replication, forwards, replies); client hosts
+  // only ever post to servers.
+  void connect_mesh() {
+    bool done = false;
+    [](KvRig& r, bool& flag) -> sim::Process {
+      const std::size_t s = r.cfg_.num_servers;
+      const std::size_t n = r.c.size();
+      for (std::size_t i = 0; i < s; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const bool ok = co_await r.msgs[i]->connect(r.c.hosts[j]);
+          assert(ok);
+          (void)ok;
+        }
+      }
+      for (std::size_t i = s; i < n; ++i) {
+        for (std::size_t j = 0; j < s; ++j) {
+          const bool ok = co_await r.msgs[i]->connect(r.c.hosts[j]);
+          assert(ok);
+          (void)ok;
+        }
+      }
+      flag = true;
+    }(*this, done);
+    while (!done && c.sched.step()) {
+    }
+    assert(done && "mesh connect did not complete");
+  }
+};
+
+}  // namespace sanfault::kv

@@ -1,0 +1,233 @@
+// Wire format for the replicated key-value service.
+//
+// Four message kinds ride vmmc::MsgEndpoint messages (first byte = type):
+//   kRequest   client -> server        GET/PUT/DEL
+//   kReply     server -> client        status + value
+//   kReplicate primary -> backup       synchronous replication of a write
+//   kReplAck   backup -> primary       replication acknowledged
+//
+// Every request carries an idempotency id (client id, per-client sequence).
+// The transport is at-least-once across path-failure generation restarts, so
+// servers dedup on that id and replies/replicates may arrive duplicated;
+// receivers match on the id, never on arrival count.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace sanfault::kv {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kReplicate = 3,
+  kReplAck = 4,
+};
+
+enum class Op : std::uint8_t { kGet = 1, kPut = 2, kDel = 3 };
+
+enum class Status : std::uint8_t {
+  kOk = 1,
+  kNotFound = 2,   // GET/DEL of an absent key (still a committed outcome)
+  kNotOwner = 3,   // receiver is neither primary nor backup of the shard
+  kTimeout = 4,    // client-side: all retries exhausted (never on the wire)
+};
+
+/// Idempotency key: globally-unique client id + per-client sequence number.
+struct RequestId {
+  std::uint64_t client = 0;
+  std::uint64_t seq = 0;
+  auto operator<=>(const RequestId&) const = default;
+  /// Packed form used as a hash-map key (client ids stay well under 2^32).
+  [[nodiscard]] std::uint64_t packed() const { return (client << 32) | seq; }
+};
+
+struct Request {
+  Op op = Op::kGet;
+  RequestId id;
+  std::uint64_t key = 0;
+  std::uint32_t reply_to = 0;  // HostId of the client host to answer
+  std::vector<std::uint8_t> value;  // PUT payload
+};
+
+struct Reply {
+  RequestId id;
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> value;  // GET result
+};
+
+struct Replicate {
+  RequestId id;      // of the client write being replicated (dedup key)
+  std::uint64_t repl_seq = 0;  // primary-chosen, echoed in the ack
+  Op op = Op::kPut;
+  std::uint64_t key = 0;
+  std::vector<std::uint8_t> value;
+};
+
+struct ReplAck {
+  std::uint64_t repl_seq = 0;
+};
+
+// --- byte-level encode/decode ----------------------------------------------
+
+namespace detail {
+
+inline void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) {
+  b.push_back(v);
+}
+inline void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void put_bytes(std::vector<std::uint8_t>& b,
+                      const std::vector<std::uint8_t>& v) {
+  put_u32(b, static_cast<std::uint32_t>(v.size()));
+  b.insert(b.end(), v.begin(), v.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& b) : b_(b) {}
+  [[nodiscard]] bool ok() const { return ok_; }
+  std::uint8_t u8() { return ok_ && pos_ < b_.size() ? b_[pos_++] : fail8(); }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    if (!ok_ || pos_ + n > b_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> v(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                b_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  std::uint8_t fail8() {
+    ok_ = false;
+    return 0;
+  }
+  const std::vector<std::uint8_t>& b_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace detail
+
+inline MsgType peek_type(const std::vector<std::uint8_t>& b) {
+  return b.empty() ? static_cast<MsgType>(0) : static_cast<MsgType>(b[0]);
+}
+
+inline std::vector<std::uint8_t> encode(const Request& r) {
+  std::vector<std::uint8_t> b;
+  b.reserve(38 + r.value.size());
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kRequest));
+  detail::put_u8(b, static_cast<std::uint8_t>(r.op));
+  detail::put_u64(b, r.id.client);
+  detail::put_u64(b, r.id.seq);
+  detail::put_u64(b, r.key);
+  detail::put_u32(b, r.reply_to);
+  detail::put_bytes(b, r.value);
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const Reply& r) {
+  std::vector<std::uint8_t> b;
+  b.reserve(26 + r.value.size());
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kReply));
+  detail::put_u8(b, static_cast<std::uint8_t>(r.status));
+  detail::put_u64(b, r.id.client);
+  detail::put_u64(b, r.id.seq);
+  detail::put_bytes(b, r.value);
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const Replicate& r) {
+  std::vector<std::uint8_t> b;
+  b.reserve(38 + r.value.size());
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kReplicate));
+  detail::put_u8(b, static_cast<std::uint8_t>(r.op));
+  detail::put_u64(b, r.id.client);
+  detail::put_u64(b, r.id.seq);
+  detail::put_u64(b, r.repl_seq);
+  detail::put_u64(b, r.key);
+  detail::put_bytes(b, r.value);
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const ReplAck& r) {
+  std::vector<std::uint8_t> b;
+  b.reserve(9);
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kReplAck));
+  detail::put_u64(b, r.repl_seq);
+  return b;
+}
+
+inline std::optional<Request> decode_request(const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kRequest) return std::nullopt;
+  Request q;
+  q.op = static_cast<Op>(r.u8());
+  q.id.client = r.u64();
+  q.id.seq = r.u64();
+  q.key = r.u64();
+  q.reply_to = r.u32();
+  q.value = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return q;
+}
+
+inline std::optional<Reply> decode_reply(const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kReply) return std::nullopt;
+  Reply p;
+  p.status = static_cast<Status>(r.u8());
+  p.id.client = r.u64();
+  p.id.seq = r.u64();
+  p.value = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+inline std::optional<Replicate> decode_replicate(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kReplicate) return std::nullopt;
+  Replicate p;
+  p.op = static_cast<Op>(r.u8());
+  p.id.client = r.u64();
+  p.id.seq = r.u64();
+  p.repl_seq = r.u64();
+  p.key = r.u64();
+  p.value = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+inline std::optional<ReplAck> decode_repl_ack(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kReplAck) return std::nullopt;
+  ReplAck p;
+  p.repl_seq = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return p;
+}
+
+}  // namespace sanfault::kv

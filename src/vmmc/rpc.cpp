@@ -1,0 +1,63 @@
+#include "vmmc/rpc.hpp"
+
+#include <cassert>
+
+namespace sanfault::vmmc {
+
+MsgEndpoint::MsgEndpoint(sim::Scheduler& sched, Endpoint& ep,
+                         std::size_t per_peer_bytes, std::size_t max_peers)
+    : sched_(sched), ep_(ep), per_peer_(per_peer_bytes) {
+  const ExportId ring = ep_.export_buffer(per_peer_bytes * max_peers);
+  assert(ring == kRingExport &&
+         "MsgEndpoint must own the first export of its Endpoint");
+  (void)ring;
+  pump();
+}
+
+sim::Task<bool> MsgEndpoint::connect(net::HostId remote) {
+  auto imp = co_await ep_.import(remote, kRingExport);
+  if (!imp.has_value()) co_return false;
+  peers_[remote] = Peer{*imp, 0};
+  ++stats_.connects;
+  co_return true;
+}
+
+sim::Task<void> MsgEndpoint::post(net::HostId remote,
+                                  std::vector<std::uint8_t> bytes,
+                                  std::uint64_t tag) {
+  auto it = peers_.find(remote);
+  assert(it != peers_.end() && "post() before connect()");
+  Peer& p = it->second;
+  assert(bytes.size() <= per_peer_ && "message exceeds ring partition");
+
+  // Our partition of the remote ring starts at self * per_peer. Messages are
+  // laid out sequentially; one that would cross the partition end wraps to
+  // its start instead (messages are never split across the wrap).
+  const std::size_t base = static_cast<std::size_t>(ep_.host().v) * per_peer_;
+  if (p.next_off + bytes.size() > per_peer_) p.next_off = 0;
+  const std::size_t off = base + p.next_off;
+  p.next_off += bytes.size();
+
+  ++stats_.msgs_tx;
+  stats_.bytes_tx += bytes.size();
+  co_await ep_.send(p.imp, off, std::move(bytes), tag);
+}
+
+sim::Process MsgEndpoint::pump() {
+  for (;;) {
+    DepositEvent ev = co_await ep_.notifications(kRingExport).pop(sched_);
+    auto ring = ep_.buffer(kRingExport);
+    Msg m;
+    m.at = ev.at;
+    m.src = ev.src;
+    m.tag = ev.tag;
+    m.bytes.assign(ring.begin() + static_cast<std::ptrdiff_t>(ev.offset),
+                   ring.begin() + static_cast<std::ptrdiff_t>(ev.offset +
+                                                              ev.length));
+    ++stats_.msgs_rx;
+    stats_.bytes_rx += m.bytes.size();
+    inbox_.push(sched_, std::move(m));
+  }
+}
+
+}  // namespace sanfault::vmmc

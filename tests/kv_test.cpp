@@ -1,0 +1,311 @@
+// Tests for the replicated KV service: the message layer underneath it, the
+// consistent-hash shard map, basic GET/PUT/DEL semantics, idempotency of
+// retries under injected transient errors, and the headline guarantee — a
+// permanent link failure mid-workload loses and duplicates nothing that was
+// committed.
+#include <gtest/gtest.h>
+
+#include "kv/audit.hpp"
+#include "kv/rig.hpp"
+#include "sim/process.hpp"
+#include "traffic/engine.hpp"
+#include "vmmc/rpc.hpp"
+
+namespace sanfault {
+namespace {
+
+void drive(sim::Scheduler& sched, const bool& flag,
+           sim::Duration cap = sim::seconds(300)) {
+  const sim::Time deadline = sched.now() + cap;
+  while (!flag && sched.now() < deadline && sched.step()) {
+  }
+  ASSERT_TRUE(flag) << "drive() hit the safety cap";
+}
+
+// --- shard map -------------------------------------------------------------
+
+TEST(ShardMap, PrimaryAndBackupDistinctAndDeterministic) {
+  std::vector<net::HostId> servers{{0}, {1}, {2}, {3}};
+  kv::ShardMap a(servers, 32);
+  kv::ShardMap b(servers, 32);
+  for (std::size_t sh = 0; sh < a.num_shards(); ++sh) {
+    EXPECT_NE(a.primary(sh), a.backup(sh));
+    EXPECT_EQ(a.primary(sh), b.primary(sh));
+    EXPECT_EQ(a.backup(sh), b.backup(sh));
+  }
+}
+
+TEST(ShardMap, AllServersOwnShards) {
+  std::vector<net::HostId> servers{{0}, {1}, {2}, {3}};
+  kv::ShardMap m(servers, 64);
+  for (const auto h : servers) {
+    EXPECT_FALSE(m.shards_owned_by(h).empty())
+        << "server " << h.v << " owns nothing";
+  }
+}
+
+TEST(ShardMap, KeyRoutingConsistent) {
+  std::vector<net::HostId> servers{{0}, {1}, {2}};
+  kv::ShardMap m(servers, 16);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const std::size_t sh = m.shard_of(k);
+    EXPECT_EQ(m.primary_of_key(k), m.primary(sh));
+    EXPECT_EQ(m.backup_of_key(k), m.backup(sh));
+  }
+}
+
+// --- message layer ---------------------------------------------------------
+
+TEST(MsgEndpoint, PostDeliversInOrderWithTags) {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  harness::Cluster c(cfg);
+  vmmc::Endpoint ea(c.sched, c.nic(0));
+  vmmc::Endpoint eb(c.sched, c.nic(1));
+  vmmc::MsgEndpoint ma(c.sched, ea, 4096, 4);
+  vmmc::MsgEndpoint mb(c.sched, eb, 4096, 4);
+
+  bool done = false;
+  [](harness::Cluster& c, vmmc::MsgEndpoint& ma, vmmc::MsgEndpoint& mb,
+     bool& done) -> sim::Process {
+    const bool ok = co_await ma.connect(c.hosts[1]);
+    EXPECT_TRUE(ok);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      co_await ma.post(c.hosts[1],
+                       std::vector<std::uint8_t>(100 + i,
+                                                 static_cast<std::uint8_t>(i)),
+                       /*tag=*/i);
+    }
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      vmmc::Msg m = co_await mb.inbox().pop(c.sched);
+      EXPECT_EQ(m.tag, i);
+      EXPECT_EQ(m.src, c.hosts[0]);
+      EXPECT_EQ(m.bytes.size(), 100 + i);
+      EXPECT_EQ(m.bytes[0], static_cast<std::uint8_t>(i));
+    }
+    done = true;
+  }(c, ma, mb, done);
+  drive(c.sched, done);
+  EXPECT_EQ(ma.stats().msgs_tx, 20u);
+  EXPECT_EQ(mb.stats().msgs_rx, 20u);
+}
+
+TEST(MsgEndpoint, RingWrapsKeepMessagesIntact) {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  harness::Cluster c(cfg);
+  vmmc::Endpoint ea(c.sched, c.nic(0));
+  vmmc::Endpoint eb(c.sched, c.nic(1));
+  // Tiny partition: 300-byte messages wrap every few posts.
+  vmmc::MsgEndpoint ma(c.sched, ea, 1024, 4);
+  vmmc::MsgEndpoint mb(c.sched, eb, 1024, 4);
+
+  bool done = false;
+  [](harness::Cluster& c, vmmc::MsgEndpoint& ma, vmmc::MsgEndpoint& mb,
+     bool& done) -> sim::Process {
+    (void)co_await ma.connect(c.hosts[1]);
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      std::vector<std::uint8_t> payload(300);
+      for (std::size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<std::uint8_t>(i * 31 + j);
+      }
+      co_await ma.post(c.hosts[1], payload, i);
+      vmmc::Msg m = co_await mb.inbox().pop(c.sched);
+      EXPECT_EQ(m.tag, i);
+      EXPECT_EQ(m.bytes, payload);
+    }
+    done = true;
+  }(c, ma, mb, done);
+  drive(c.sched, done);
+}
+
+// --- wire format -----------------------------------------------------------
+
+TEST(KvWire, RequestRoundTrip) {
+  kv::Request q;
+  q.op = kv::Op::kPut;
+  q.id = {7, 99};
+  q.key = 0xdeadbeefull;
+  q.reply_to = 5;
+  q.value = {1, 2, 3, 4};
+  const auto b = kv::encode(q);
+  EXPECT_EQ(kv::peek_type(b), kv::MsgType::kRequest);
+  const auto d = kv::decode_request(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->op, q.op);
+  EXPECT_EQ(d->id, q.id);
+  EXPECT_EQ(d->key, q.key);
+  EXPECT_EQ(d->reply_to, q.reply_to);
+  EXPECT_EQ(d->value, q.value);
+}
+
+TEST(KvWire, TruncatedMessageRejected) {
+  kv::Reply r;
+  r.id = {1, 2};
+  r.status = kv::Status::kOk;
+  r.value = {9, 9, 9};
+  auto b = kv::encode(r);
+  b.resize(b.size() - 2);
+  EXPECT_FALSE(kv::decode_reply(b).has_value());
+  EXPECT_FALSE(kv::decode_request(b).has_value());
+}
+
+// --- service semantics -----------------------------------------------------
+
+kv::KvRigConfig small_rig_config() {
+  kv::KvRigConfig rc;
+  rc.num_servers = 2;
+  rc.num_client_hosts = 1;
+  rc.num_shards = 8;
+  return rc;
+}
+
+TEST(KvService, PutGetDelBasics) {
+  kv::KvRig rig(small_rig_config());
+  bool done = false;
+  [](kv::KvRig& rig, bool& done) -> sim::Process {
+    kv::KvRetryPolicy policy;
+    auto& ch = rig.client(0);
+    const auto v = kv::make_value({1, 1}, 64);
+
+    auto put = co_await ch.call({1, 1}, kv::Op::kPut, 42, v, policy);
+    EXPECT_EQ(put.status, kv::Status::kOk);
+
+    auto get = co_await ch.call({1, 2}, kv::Op::kGet, 42, {}, policy);
+    EXPECT_EQ(get.status, kv::Status::kOk);
+    EXPECT_EQ(get.value, v);
+
+    auto miss = co_await ch.call({1, 3}, kv::Op::kGet, 43, {}, policy);
+    EXPECT_EQ(miss.status, kv::Status::kNotFound);
+
+    auto del = co_await ch.call({1, 4}, kv::Op::kDel, 42, {}, policy);
+    EXPECT_EQ(del.status, kv::Status::kOk);
+
+    auto gone = co_await ch.call({1, 5}, kv::Op::kGet, 42, {}, policy);
+    EXPECT_EQ(gone.status, kv::Status::kNotFound);
+
+    auto del2 = co_await ch.call({1, 6}, kv::Op::kDel, 42, {}, policy);
+    EXPECT_EQ(del2.status, kv::Status::kNotFound);
+    done = true;
+  }(rig, done);
+  drive(rig.c.sched, done);
+}
+
+TEST(KvService, WritesReplicateToBackup) {
+  kv::KvRig rig(small_rig_config());
+  bool done = false;
+  [](kv::KvRig& rig, bool& done) -> sim::Process {
+    kv::KvRetryPolicy policy;
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      auto o = co_await rig.client(0).call({2, k + 1}, kv::Op::kPut, k,
+                                           kv::make_value({2, k + 1}, 48),
+                                           policy);
+      EXPECT_EQ(o.status, kv::Status::kOk);
+    }
+    done = true;
+  }(rig, done);
+  drive(rig.c.sched, done);
+  rig.c.sched.run_for(sim::milliseconds(50));
+
+  // Every key must live on both nodes (each is primary for some shards and
+  // backup for the rest).
+  std::size_t total0 = rig.server(0).store().size();
+  std::size_t total1 = rig.server(1).store().size();
+  EXPECT_EQ(total0, 32u);
+  EXPECT_EQ(total1, 32u);
+  EXPECT_GT(rig.server(0).stats().replicates_rx +
+                rig.server(1).stats().replicates_rx,
+            0u);
+}
+
+TEST(KvService, RetriesUnderInjectedErrorsStayExactlyOnce) {
+  kv::KvRigConfig rc = small_rig_config();
+  rc.cluster.rel.drop_interval = 20;  // brutal 5% transient loss
+  // Keep the permanent-failure detector out of the way; this test is about
+  // transient recovery + dedup.
+  rc.cluster.rel.fail_threshold = sim::seconds(30);
+  rc.cluster.rel.fail_min_rounds = 1000;
+  kv::KvRig rig(rc);
+
+  kv::ShadowMap shadow;
+  bool done = false;
+  [](kv::KvRig& rig, kv::ShadowMap& shadow, bool& done) -> sim::Process {
+    kv::KvRetryPolicy policy;
+    policy.base_timeout = sim::milliseconds(2);  // eager client retries
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      const kv::RequestId id{3, k + 1};
+      shadow.record_issued_write(id, k % 50);
+      auto o = co_await rig.client(0).call(id, kv::Op::kPut, k % 50,
+                                           kv::make_value(id, 80), policy);
+      EXPECT_TRUE(o.ok());
+      if (o.ok()) shadow.record_committed(id);
+    }
+    done = true;
+  }(rig, shadow, done);
+  drive(rig.c.sched, done);
+  rig.c.sched.run_for(sim::milliseconds(100));
+
+  EXPECT_GT(rig.c.rel(0).stats().injected_drops +
+                rig.c.rel(1).stats().injected_drops +
+                rig.c.rel(2).stats().injected_drops,
+            0u);
+  const auto audit = kv::audit(*rig.map, rig.server_view(), shadow);
+  EXPECT_EQ(audit.lost, 0u);
+  EXPECT_EQ(audit.duplicated, 0u);
+  EXPECT_EQ(audit.replica_mismatches, 0u);
+  EXPECT_EQ(audit.alien_values, 0u);
+}
+
+// The headline test: a primary's link dies permanently mid-workload. The
+// firmware declares the path dead, the mapper finds the redundant trunk and
+// a new generation restarts; clients ride over it with retry + failover. No
+// committed write may be lost or duplicated.
+TEST(KvService, LinkKillMidWorkloadLosesNothing) {
+  kv::KvRigConfig rc;
+  rc.num_servers = 4;
+  rc.num_client_hosts = 2;
+  rc.cluster.topo = harness::TopoKind::kFigure2;
+  rc.cluster.mapper = harness::MapperKind::kOnDemand;
+  rc.cluster.rel.fail_threshold = sim::milliseconds(10);
+  rc.cluster.rel.fail_min_rounds = 8;
+  kv::KvRig rig(rc);
+
+  traffic::TrafficConfig tc;
+  tc.num_clients = 50;
+  tc.total_requests = 1500;
+  tc.rate_rps = 50000;
+  tc.get_ratio = 0.3;  // write-heavy: stress replication across the failure
+  tc.seed = 11;
+  traffic::TrafficEngine engine(rig.c.sched, rig.client_view(), tc);
+  engine.start();
+
+  rig.c.sched.after(sim::milliseconds(10), [&rig] {
+    rig.c.topo.set_link_up(net::LinkId{0}, false);
+  });
+
+  const sim::Time cap = sim::seconds(300);
+  while (!engine.done() && rig.c.sched.now() < cap && rig.c.sched.step()) {
+  }
+  ASSERT_TRUE(engine.done()) << "workload did not complete";
+  rig.c.sched.run_for(sim::milliseconds(100));
+  const sim::Time qcap = rig.c.sched.now() + sim::seconds(10);
+  while (!rig.servers_idle() && rig.c.sched.now() < qcap && rig.c.sched.step()) {
+  }
+  rig.c.sched.run_for(sim::milliseconds(100));
+
+  std::uint64_t path_failures = 0;
+  for (std::size_t i = 0; i < rig.c.size(); ++i) {
+    path_failures += rig.c.rel(i).stats().path_failures;
+  }
+  EXPECT_GT(path_failures, 0u) << "the kill never bit a used route";
+
+  const auto audit = kv::audit(*rig.map, rig.server_view(), engine.shadow());
+  EXPECT_GT(audit.committed, 0u);
+  EXPECT_EQ(audit.lost, 0u);
+  EXPECT_EQ(audit.duplicated, 0u);
+  EXPECT_EQ(audit.replica_mismatches, 0u);
+  EXPECT_EQ(audit.alien_values, 0u);
+}
+
+}  // namespace
+}  // namespace sanfault
