@@ -23,6 +23,7 @@
 #include "harness/table.hpp"
 #include "kv/audit.hpp"
 #include "kv/rig.hpp"
+#include "obs/metrics.hpp"
 #include "traffic/engine.hpp"
 
 namespace {
@@ -50,10 +51,11 @@ struct RunResult {
   std::uint64_t path_failures = 0;
   double p50_us = 0, p90_us = 0, p99_us = 0, p999_us = 0;
   kv::AuditResult audit;
+  std::string metrics_json;  // full obs registry dump, if requested
 };
 
 RunResult run_cell(const RunSpec& spec, std::uint64_t total_requests,
-                   double rate_rps) {
+                   double rate_rps, bool want_metrics) {
   kv::KvRigConfig rc;
   rc.num_servers = 4;
   rc.num_client_hosts = 4;
@@ -122,6 +124,9 @@ RunResult run_cell(const RunSpec& spec, std::uint64_t total_requests,
     r.path_failures += rig.c.rel(i).stats().path_failures;
   }
   r.audit = kv::audit(*rig.map, rig.server_view(), engine.shadow());
+  // Snapshot the cell's metrics registry while the rig is still alive (each
+  // cell has its own scheduler, and with it its own registry).
+  if (want_metrics) r.metrics_json = obs::Registry::of(rig.c.sched).to_json();
   return r;
 }
 
@@ -163,18 +168,50 @@ bool write_json(const char* path, const std::vector<RunResult>& rows) {
   return true;
 }
 
+// Per-cell obs registry dumps: an array of {"cell": ..., "metrics": ...}
+// objects (the "metrics" value is the registry's own JSON — see
+// docs/OBSERVABILITY.md for the schema and scripts/metrics_diff.py for the
+// comparison tool).
+bool write_metrics_json(const char* path, const std::vector<RunResult>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::fprintf(f,
+                 "{\"cell\": {\"clients\": %zu, \"error_rate\": \"%s\", "
+                 "\"campaign\": \"%s\"},\n\"metrics\": %s}%s\n",
+                 r.spec.clients, r.spec.err_name,
+                 r.spec.link_kill ? "link-kill" : "steady",
+                 r.metrics_json.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   const char* json_path = nullptr;
+  const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json <file>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <file>] "
+                   "[--metrics-json <file>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -203,7 +240,8 @@ int main(int argc, char** argv) {
     for (const Err& e : errs) {
       for (const bool kill : {false, true}) {
         const RunSpec spec{clients, e.name, e.drop_interval, kill};
-        RunResult r = run_cell(spec, total_requests, rate_rps);
+        RunResult r =
+            run_cell(spec, total_requests, rate_rps, metrics_path != nullptr);
         rows.push_back(r);
         t.add_row({std::to_string(clients), e.name,
                    kill ? "link-kill" : "steady", harness::fmt(r.goodput_rps, 0),
@@ -225,5 +263,8 @@ int main(int argc, char** argv) {
               all_ok ? "0" : "!=0");
 
   if (json_path != nullptr) all_ok = write_json(json_path, rows) && all_ok;
+  if (metrics_path != nullptr) {
+    all_ok = write_metrics_json(metrics_path, rows) && all_ok;
+  }
   return all_ok ? 0 : 1;
 }

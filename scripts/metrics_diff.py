@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two bench metrics JSON files and flag counter regressions.
+
+Inputs are files produced either by a bench binary's --metrics-json flag
+(an array of {"cell": {...}, "metrics": {...}} objects, one per sweep cell)
+or by the SANFAULT_METRICS_JSON teardown export (a single registry dump).
+See docs/OBSERVABILITY.md for the metric schema.
+
+Counters are aggregated per cell by their schema name — the part of the
+instance name before the '{label=...}' suffix — so per-node instances fold
+into one number. Each aggregated counter is then compared against the
+baseline according to its direction:
+
+  * cost counters (retransmissions, drops, failures, stalls, probes...)
+    regress when they GROW beyond tolerance — the protocol got noisier;
+  * goodput counters (deliveries, ok calls, acks...) regress when they
+    SHRINK beyond tolerance — the run did less useful work;
+  * everything else is informational (printed with --verbose only).
+
+Tolerance is relative plus an absolute slack, because goldens are committed
+from one toolchain and re-checked on others: the simulator is deterministic
+for a fixed binary, but floating-point differences across compilers can
+shift event interleavings slightly.
+
+Usage:
+  metrics_diff.py golden.json candidate.json [--tolerance 0.25]
+                  [--abs-slack 100] [--verbose]
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = usage/shape
+error (e.g. cells don't match).
+"""
+
+import argparse
+import json
+import sys
+
+# Counter schema-name prefixes where growth means the system got worse.
+COST_PREFIXES = (
+    "firmware.retransmissions",
+    "firmware.retrans_rounds",
+    "firmware.ooo_drops",
+    "firmware.dup_drops",
+    "firmware.corrupt_drops",
+    "firmware.stale_gen_drops",
+    "firmware.unreachable_drops",
+    "firmware.no_route_drops",
+    "firmware.path_failures",
+    "firmware.generation_restarts",
+    "firmware.remap_requests",
+    "mapper.mappings_failed",
+    "mapper.probe_timeouts",
+    "nic.crc_failures",
+    "nic.injection_stalls",
+    "fabric.dropped_",          # all fabric drop classes
+    "fabric.delivered_corrupt",
+    "kv.client_failed",
+    "kv.client_timeouts",
+    "kv.client_failovers",
+    "kv.server_repl_failures",
+    "kv.server_repl_retries",
+    "traffic.failed",
+    "traffic.retries",
+    "vmmc.rejected_rx",
+    "vmmc.imports_denied",
+)
+
+# Counter schema names where shrinkage means useful work was lost.
+GOODPUT_PREFIXES = (
+    "firmware.data_rx_in_order",
+    "fabric.delivered",
+    "nic.host_deliveries",
+    "kv.client_ok",
+    "traffic.ok",
+    "traffic.completed",
+    "vmmc.deposits_rx",
+    "mapper.mappings_succeeded",
+)
+
+
+def schema_name(instance_name):
+    """'firmware.retransmissions{node=3}' -> 'firmware.retransmissions'."""
+    return instance_name.split("{", 1)[0]
+
+
+def load_cells(path):
+    """Normalize either input shape to [(cell_key, {schema: value})]."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):  # single registry dump
+        doc = [{"cell": {}, "metrics": doc}]
+    cells = []
+    for entry in doc:
+        metrics = entry.get("metrics", {}).get("metrics", {})
+        agg = {}
+        for name, m in metrics.items():
+            if m.get("type") != "counter":
+                continue
+            agg[schema_name(name)] = agg.get(schema_name(name), 0) + m["value"]
+        cells.append((json.dumps(entry.get("cell", {}), sort_keys=True), agg))
+    return cells
+
+
+def direction(name):
+    # "delivered_corrupt" is a cost counter but shares the "delivered" stem;
+    # cost classification wins, so check it first.
+    if any(name.startswith(p) for p in COST_PREFIXES):
+        return "cost"
+    if any(name.startswith(p) for p in GOODPUT_PREFIXES):
+        return "goodput"
+    return "info"
+
+
+def compare_cell(cell_key, golden, candidate, tol, slack, verbose):
+    regressions = []
+    for name in sorted(set(golden) | set(candidate)):
+        g = golden.get(name, 0)
+        c = candidate.get(name, 0)
+        d = direction(name)
+        if d == "cost":
+            limit = g * (1 + tol) + slack
+            if c > limit:
+                regressions.append(
+                    f"  {name}: {g} -> {c} (cost grew past {limit:.0f})")
+        elif d == "goodput":
+            limit = g * (1 - tol) - slack
+            if c < limit:
+                regressions.append(
+                    f"  {name}: {g} -> {c} (goodput fell below {limit:.0f})")
+        elif verbose and g != c:
+            print(f"  [info] {name}: {g} -> {c}")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Flag counter regressions between two bench metrics "
+                    "JSON files (see docs/OBSERVABILITY.md).")
+    ap.add_argument("golden")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative headroom on each counter (default 0.25)")
+    ap.add_argument("--abs-slack", type=float, default=100,
+                    help="absolute headroom added on top (default 100)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also print changed informational counters")
+    args = ap.parse_args()
+
+    golden = load_cells(args.golden)
+    candidate = load_cells(args.candidate)
+    if [k for k, _ in golden] != [k for k, _ in candidate]:
+        print("metrics_diff: cell layouts differ between the two files; "
+              "re-generate the golden with the same sweep flags",
+              file=sys.stderr)
+        return 2
+
+    total = 0
+    for (key, g), (_, c) in zip(golden, candidate):
+        cell = json.loads(key)
+        label = ", ".join(f"{k}={v}" for k, v in cell.items()) or "(run)"
+        regs = compare_cell(key, g, c, args.tolerance, args.abs_slack,
+                            args.verbose)
+        if regs or args.verbose:
+            print(f"cell [{label}]:")
+        for r in regs:
+            print(r)
+        if not regs and args.verbose:
+            print("  ok")
+        total += len(regs)
+
+    if total:
+        print(f"metrics_diff: {total} regression(s) vs {args.golden}")
+        return 1
+    print(f"metrics_diff: no counter regressions across "
+          f"{len(candidate)} cell(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything, run the full test suite.
+# Tier-1 verification: configure, build everything, run the full test suite,
+# then check bench metrics against the committed golden run.
 # This is the exact command gate a change must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +8,24 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Metrics regression gate: re-run the quick KV sweep and diff its counters
+# against bench/golden/kv_quick_metrics.json (tolerance-based; see
+# scripts/metrics_diff.py --help). Regenerate the golden after intentional
+# protocol changes with:
+#   ./build/bench/bench_kv_service --quick --metrics-json bench/golden/kv_quick_metrics.json
+./build/bench/bench_kv_service --quick --metrics-json build/kv_quick_metrics.json >/dev/null
+python3 scripts/metrics_diff.py bench/golden/kv_quick_metrics.json \
+    build/kv_quick_metrics.json
+
+cat <<'EOF'
+
+verify: OK
+
+Reading bench JSON: every bench binary exports its obs registry when
+SANFAULT_METRICS_JSON=<file> is set (SANFAULT_TRACE=<capacity> adds the
+packet-lifecycle trace ring); bench_kv_service also takes --metrics-json
+<file> for per-cell dumps. Metric names, units, and increment semantics are
+documented in docs/OBSERVABILITY.md; compare two runs with
+scripts/metrics_diff.py.
+EOF

@@ -1,6 +1,9 @@
 #include "firmware/mapper_ondemand.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace sanfault::firmware {
 
@@ -20,7 +23,37 @@ struct ProbeResult {
 }  // namespace
 
 OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)
-    : nic_(nic), cfg_(cfg) {}
+    : nic_(nic), cfg_(cfg) {
+  // Mirror OnDemandMapperStats into the per-simulation metrics registry
+  // (pull model — see docs/OBSERVABILITY.md).
+  obs::Registry& reg = obs::Registry::of(nic_.sched());
+  const std::string node = "{node=" + std::to_string(nic_.self().v) + "}";
+  reg.add_collector(this, [this, &reg, node] {
+    const OnDemandMapperStats& s = stats_;
+    reg.counter("mapper.mappings_started" + node, "mappings")
+        .set(s.mappings_started);
+    reg.counter("mapper.mappings_succeeded" + node, "mappings")
+        .set(s.mappings_succeeded);
+    reg.counter("mapper.mappings_failed" + node, "mappings")
+        .set(s.mappings_failed);
+    reg.counter("mapper.host_probes_tx" + node, "probes")
+        .set(s.host_probes_tx);
+    reg.counter("mapper.switch_probes_tx" + node, "probes")
+        .set(s.switch_probes_tx);
+    reg.counter("mapper.probe_replies_tx" + node, "probes")
+        .set(s.probe_replies_tx);
+    reg.counter("mapper.probe_replies_rx" + node, "probes")
+        .set(s.probe_replies_rx);
+    reg.counter("mapper.probe_timeouts" + node, "probes")
+        .set(s.probe_timeouts);
+    reg.counter("mapper.mapping_time_total_ns" + node, "ns")
+        .set(static_cast<std::uint64_t>(s.mapping_time_total));
+  });
+}
+
+OnDemandMapper::~OnDemandMapper() {
+  if (auto* r = obs::Registry::find(nic_.sched())) r->remove_collectors(this);
+}
 
 std::uint8_t OnDemandMapper::radix_of(const Route& forward) const {
   if (cfg_.radix_oracle != nullptr) {
@@ -309,6 +342,13 @@ sim::Process OnDemandMapper::drive() {
 
     stats_.last_mapping_time = sched.now() - t0;
     stats_.mapping_time_total += stats_.last_mapping_time;
+    // Mapping runs are rare (permanent failures only), so the string build
+    // and registry lookup are off any hot path.
+    obs::Registry::of(sched)
+        .histogram("mapper.mapping_time_ns{node=" +
+                       std::to_string(nic_.self().v) + "}",
+                   "ns")
+        .record(static_cast<std::uint64_t>(stats_.last_mapping_time));
     stats_.last_host_probes = stats_.host_probes_tx - h0;
     stats_.last_switch_probes = stats_.switch_probes_tx - s0;
     if (result) {

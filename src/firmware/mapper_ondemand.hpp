@@ -82,6 +82,7 @@ struct OnDemandMapperStats {
 class OnDemandMapper final : public MapperIface {
  public:
   OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg = {});
+  ~OnDemandMapper() override;
 
   // --- MapperIface ---------------------------------------------------------
   void request_route(net::HostId dst, RouteCallback cb) override;

@@ -17,7 +17,67 @@ ReliableFirmware::ReliableFirmware(nic::Nic& nic, ReliabilityConfig cfg)
       next_drop_in_(cfg.drop_interval),
       drop_rng_(cfg.drop_seed ^ (nic.self().v * 0x9e3779b97f4a7c15ull)) {
   nic_.load_firmware(this);
+  register_metrics();
   arm_timer();
+}
+
+ReliableFirmware::~ReliableFirmware() {
+  if (auto* r = obs::Registry::find(nic_.sched())) r->remove_collectors(this);
+}
+
+void ReliableFirmware::register_metrics() {
+  obs_ = &obs::Registry::of(nic_.sched());
+  trace_ = &obs_->trace();
+  const std::string node = "{node=" + std::to_string(nic_.self().v) + "}";
+  queue_depth_ = &obs_->histogram("firmware.retrans_queue_depth" + node,
+                                  "packets");
+  free_bufs_ = &obs_->gauge("firmware.send_buffers_free" + node, "buffers");
+  // Counters mirror ReliabilityStats via a pull-collector: the protocol fast
+  // path keeps its plain struct increments, the registry syncs before every
+  // export (and one final time from the destructor).
+  obs_->add_collector(this, [this, node] {
+    obs::Registry& r = *obs_;
+    const ReliabilityStats& s = stats_;
+    r.counter("firmware.data_tx" + node, "packets").set(s.data_tx);
+    r.counter("firmware.retransmissions" + node, "packets")
+        .set(s.retransmissions);
+    r.counter("firmware.retrans_rounds" + node, "rounds")
+        .set(s.retrans_rounds);
+    r.counter("firmware.injected_drops" + node, "packets")
+        .set(s.injected_drops);
+    r.counter("firmware.data_rx_in_order" + node, "packets")
+        .set(s.data_rx_in_order);
+    r.counter("firmware.dup_drops" + node, "packets").set(s.dup_drops);
+    r.counter("firmware.ooo_drops" + node, "packets").set(s.ooo_drops);
+    r.counter("firmware.stale_gen_drops" + node, "packets")
+        .set(s.stale_gen_drops);
+    r.counter("firmware.corrupt_drops" + node, "packets")
+        .set(s.corrupt_drops);
+    r.counter("firmware.acks_explicit_tx" + node, "packets")
+        .set(s.acks_explicit_tx);
+    r.counter("firmware.acks_rx" + node, "packets").set(s.acks_rx);
+    r.counter("firmware.ack_advances" + node, "acks").set(s.ack_advances);
+    r.counter("firmware.timer_fires" + node, "fires").set(s.timer_fires);
+    r.counter("firmware.path_failures" + node, "paths").set(s.path_failures);
+    r.counter("firmware.remap_requests" + node, "requests")
+        .set(s.remap_requests);
+    r.counter("firmware.generation_restarts" + node, "restarts")
+        .set(s.generation_restarts);
+    r.counter("firmware.unreachable_drops" + node, "packets")
+        .set(s.unreachable_drops);
+    r.counter("firmware.no_route_drops" + node, "packets")
+        .set(s.no_route_drops);
+    free_bufs_->set(static_cast<std::int64_t>(nic_.send_pool().free_count()));
+  });
+}
+
+void ReliableFirmware::trace_ch(obs::TraceKind kind, HostId peer,
+                                std::uint32_t seq, std::uint16_t gen,
+                                std::uint32_t arg) {
+  trace_->emit(obs::TraceEvent{nic_.sched().now(), nic_.self().v, peer.v, seq,
+                               arg, gen,
+                               static_cast<std::uint16_t>(nic_.self().v),
+                               kind});
 }
 
 bool ReliableFirmware::should_drop_now() {
@@ -117,11 +177,14 @@ void ReliableFirmware::on_host_packet(nic::SendRequest req) {
 
   if (ch.retrans_queue.empty()) ch.last_progress = nic_.sched().now();
 
+  trace_pkt(obs::TraceKind::kHostEnqueue, pkt);
+
   const auto route = routes_.get(dst);
   if (!route) {
     // No route known. Park the packet (it already owns its send buffer) and
     // discover one on demand.
     ch.retrans_queue.push_back(QueuedPacket{std::move(pkt), 0, false});
+    queue_depth_->record(ch.retrans_queue.size());
     if (mapper_ == nullptr) {
       // Without a mapper this is a hard error: drop and recycle.
       ch.retrans_queue.pop_back();
@@ -135,6 +198,7 @@ void ReliableFirmware::on_host_packet(nic::SendRequest req) {
 
   pkt.hdr.route = *route;
   ch.retrans_queue.push_back(QueuedPacket{std::move(pkt), 0, false});
+  queue_depth_->record(ch.retrans_queue.size());
   QueuedPacket& qp = ch.retrans_queue.back();
   ++stats_.data_tx;
   put_on_wire(dst, qp, /*is_retransmit=*/false);
@@ -147,9 +211,15 @@ void ReliableFirmware::put_on_wire(HostId /*h*/, QueuedPacket& qp,
   // retransmission queue without actually transmitting it onto the network".
   if (should_drop_now()) {
     qp.last_sent = nic_.sched().now();
+    trace_pkt(obs::TraceKind::kInjectedDrop, qp.pkt);
     return;
   }
-  if (is_retransmit) ++stats_.retransmissions;
+  if (is_retransmit) {
+    ++stats_.retransmissions;
+    trace_pkt(obs::TraceKind::kRetransmit, qp.pkt);
+  } else {
+    trace_pkt(obs::TraceKind::kWireInject, qp.pkt);
+  }
   // Stamp with the send-DMA completion time: the retransmission timer then
   // measures "unacknowledged since it actually left", which self-clocks the
   // protocol to wire drainage under load.
@@ -164,6 +234,7 @@ void ReliableFirmware::on_wire_packet(Packet pkt, bool crc_ok) {
   if (!crc_ok) {
     // Corrupt contents cannot be trusted — not even the ACK fields.
     ++stats_.corrupt_drops;
+    trace_pkt(obs::TraceKind::kCorruptDrop, pkt);
     return;
   }
   switch (pkt.hdr.type) {
@@ -194,6 +265,7 @@ void ReliableFirmware::handle_data(Packet pkt) {
       rxch.pending_unacked = 0;
     } else {
       ++stats_.stale_gen_drops;
+      trace_pkt(obs::TraceKind::kStaleGenDrop, pkt);
       return;
     }
   }
@@ -213,6 +285,7 @@ void ReliableFirmware::handle_data(Packet pkt) {
     ++rxch.expected_seq;
     ++rxch.pending_unacked;
     ++stats_.data_rx_in_order;
+    trace_pkt(obs::TraceKind::kDeliver, pkt);
     const bool force_ack =
         rxch.pending_unacked >= policy_.config().receiver_coalesce_max;
     nic_.deliver_to_host(std::move(pkt));
@@ -221,11 +294,13 @@ void ReliableFirmware::handle_data(Packet pkt) {
     // Duplicate (our ACK was probably lost). Re-ACK when asked so the
     // sender stops retransmitting.
     ++stats_.dup_drops;
+    trace_pkt(obs::TraceKind::kDupDrop, pkt, rxch.expected_seq);
     if (ack_requested) send_explicit_ack(src, std::move(back));
   } else {
     // Gap: go-back-N receivers drop everything until the expected sequence
     // number arrives (a simple dequeue, no buffering).
     ++stats_.ooo_drops;
+    trace_pkt(obs::TraceKind::kOooDrop, pkt, rxch.expected_seq);
     if (ack_requested) send_explicit_ack(src, std::move(back));
   }
 }
@@ -245,6 +320,9 @@ void ReliableFirmware::process_ack(HostId from, std::uint32_t ack,
     nic_.release_send_buffers(freed);
     ch.rounds_without_progress = 0;
     ch.last_progress = nic_.sched().now();
+    ++stats_.ack_advances;
+    trace_ch(obs::TraceKind::kAckRx, from, ack, ack_gen,
+             static_cast<std::uint32_t>(freed));
   }
 }
 
@@ -277,6 +355,7 @@ void ReliableFirmware::send_explicit_ack(HostId to,
     a.hdr.route = route;
     rxch.pending_unacked = 0;
     ++stats_.acks_explicit_tx;
+    trace_ch(obs::TraceKind::kAckTx, to, a.hdr.ack, a.hdr.ack_gen);
     nic_.inject(std::move(a));
   });
 }
@@ -295,6 +374,12 @@ void ReliableFirmware::on_timer() {
   std::size_t non_empty = 0;
   for (const auto& [h, ch] : tx_) {
     if (!ch.retrans_queue.empty()) ++non_empty;
+  }
+  // Idle scans are not lifecycle events; tracing them would flood the ring
+  // on long runs (the timer never stops ticking).
+  if (non_empty > 0) {
+    trace_ch(obs::TraceKind::kTimerFire, nic_.self(), 0, 0,
+             static_cast<std::uint32_t>(non_empty));
   }
   const sim::Duration scan_cost =
       nic_.costs().timer_scan_base +
@@ -383,6 +468,8 @@ void ReliableFirmware::retransmit_one(HostId h, std::uint16_t gen,
 
 void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
   ++stats_.path_failures;
+  trace_ch(obs::TraceKind::kPathFail, h, 0, ch.generation,
+           static_cast<std::uint32_t>(ch.retrans_queue.size()));
   routes_.invalidate(h);
   if (mapper_ == nullptr) {
     ch.unreachable = true;
@@ -396,6 +483,7 @@ void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
   if (ch.remap_in_flight) return;
   ch.remap_in_flight = true;
   ++stats_.remap_requests;
+  trace_ch(obs::TraceKind::kRemapStart, h, 0, ch.generation);
   mapper_->request_route(h, [this, h](std::optional<net::Route> route) {
     finish_remap(h, std::move(route));
   });
@@ -404,6 +492,8 @@ void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
 void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   TxChannel& ch = tx(h);
   ch.remap_in_flight = false;
+  trace_ch(obs::TraceKind::kRemapDone, h, 0, ch.generation,
+           route.has_value() ? 1 : 0);
   if (!route) {
     // "If no alternative route to a node exists, the node is labeled as
     // unreachable and any pending packets are dropped."
@@ -429,6 +519,9 @@ void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   ch.next_seq = seq;
   ch.rounds_without_progress = 0;
   ch.last_progress = nic_.sched().now();
+  ++stats_.generation_restarts;
+  trace_ch(obs::TraceKind::kGenRestart, h, ch.next_seq, ch.generation,
+           static_cast<std::uint32_t>(ch.retrans_queue.size()));
 
   // Resume: send every pending packet in order on the fresh route.
   {

@@ -33,6 +33,7 @@
 #include "firmware/mapper.hpp"
 #include "firmware/route_table.hpp"
 #include "nic/nic.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 
 namespace sanfault::firmware {
@@ -80,9 +81,11 @@ struct ReliabilityStats {
   std::uint64_t corrupt_drops = 0;
   std::uint64_t acks_explicit_tx = 0;
   std::uint64_t acks_rx = 0;
+  std::uint64_t ack_advances = 0;        // cumulative ACKs that freed >=1 pkt
   std::uint64_t timer_fires = 0;
   std::uint64_t path_failures = 0;
   std::uint64_t remap_requests = 0;
+  std::uint64_t generation_restarts = 0; // successful remaps (new seq space)
   std::uint64_t unreachable_drops = 0;   // packets discarded, no path
   std::uint64_t no_route_drops = 0;      // no route and no mapper attached
 };
@@ -90,6 +93,7 @@ struct ReliabilityStats {
 class ReliableFirmware final : public nic::FirmwareIface {
  public:
   explicit ReliableFirmware(nic::Nic& nic, ReliabilityConfig cfg = {});
+  ~ReliableFirmware() override;
 
   [[nodiscard]] RouteTable& routes() { return routes_; }
   [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
@@ -133,6 +137,22 @@ class ReliableFirmware final : public nic::FirmwareIface {
   /// §5.1.3 drop-plan decision for the next data injection.
   bool should_drop_now();
 
+  /// Register this firmware's metrics + collector with the simulation's
+  /// observability registry (src/obs); see docs/OBSERVABILITY.md.
+  void register_metrics();
+  /// Lifecycle trace event derived from a packet header.
+  void trace_pkt(obs::TraceKind kind, const net::Packet& pkt,
+                 std::uint32_t arg = 0) {
+    trace_->emit(obs::TraceEvent{nic_.sched().now(), pkt.hdr.src.v,
+                                 pkt.hdr.dst.v, pkt.hdr.seq, arg,
+                                 pkt.hdr.generation,
+                                 static_cast<std::uint16_t>(nic_.self().v),
+                                 kind});
+  }
+  /// Lifecycle trace event for channel-level transitions (remap, timer...).
+  void trace_ch(obs::TraceKind kind, net::HostId peer, std::uint32_t seq,
+                std::uint16_t gen, std::uint32_t arg = 0);
+
   nic::Nic& nic_;
   ReliabilityConfig cfg_;
   AckPolicy policy_;
@@ -146,6 +166,12 @@ class ReliableFirmware final : public nic::FirmwareIface {
   std::uint64_t next_drop_in_ = 0;  // §5.1.3 countdown to the next drop
   std::uint32_t burst_left_ = 0;    // remaining drops of the current burst
   sim::Rng drop_rng_;
+
+  // Observability (src/obs): cached handles into the per-simulation registry.
+  obs::Registry* obs_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;  // retrans-queue depth at enqueue
+  obs::Gauge* free_bufs_ = nullptr;        // send-buffer feedback signal
 };
 
 }  // namespace sanfault::firmware

@@ -1,13 +1,36 @@
 #include "kv/client.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace sanfault::kv {
 
 KvClientHost::KvClientHost(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
                            const ShardMap& map)
-    : sched_(sched), msgs_(msgs), map_(map) {}
+    : sched_(sched), msgs_(msgs), map_(map) {
+  obs::Registry& reg = obs::Registry::of(sched_);
+  const std::string node = "{node=" + std::to_string(msgs_.host().v) + "}";
+  call_latency_ = &reg.histogram("kv.call_latency_ns" + node, "ns");
+  reg.add_collector(this, [this, &reg, node] {
+    const KvClientStats& s = stats_;
+    reg.counter("kv.client_calls" + node, "calls").set(s.calls);
+    reg.counter("kv.client_ok" + node, "calls").set(s.ok);
+    reg.counter("kv.client_failed" + node, "calls").set(s.failed);
+    reg.counter("kv.client_posts" + node, "messages").set(s.posts);
+    reg.counter("kv.client_timeouts" + node, "attempts").set(s.timeouts);
+    reg.counter("kv.client_failovers" + node, "calls").set(s.failovers);
+    reg.counter("kv.client_stale_replies" + node, "messages")
+        .set(s.stale_replies);
+    reg.counter("kv.client_dup_replies" + node, "messages")
+        .set(s.dup_replies);
+    reg.counter("kv.client_bad_msgs" + node, "messages").set(s.bad_msgs);
+  });
+}
+
+KvClientHost::~KvClientHost() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
+}
 
 void KvClientHost::start() { pump(); }
 
@@ -89,6 +112,7 @@ sim::Task<Outcome> KvClientHost::call(RequestId id, Op op, std::uint64_t key,
   }
   if (o.ok()) {
     ++stats_.ok;
+    call_latency_->record(static_cast<std::uint64_t>(o.latency()));
   } else {
     ++stats_.failed;
   }

@@ -24,6 +24,7 @@
 
 #include "kv/shard_map.hpp"
 #include "kv/wire.hpp"
+#include "obs/metrics.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
@@ -72,6 +73,7 @@ class KvClientHost {
  public:
   KvClientHost(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
                const ShardMap& map);
+  ~KvClientHost();
 
   /// Spawn the reply-dispatch pump. Call once, after mesh connect.
   void start();
@@ -99,6 +101,7 @@ class KvClientHost {
   const ShardMap& map_;
   std::unordered_map<std::uint64_t, PendingCall*> pending_;
   KvClientStats stats_;
+  obs::Histogram* call_latency_ = nullptr;  // committed calls only
 };
 
 }  // namespace sanfault::kv

@@ -1,13 +1,46 @@
 #include "kv/server.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace sanfault::kv {
 
 KvServer::KvServer(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
                    const ShardMap& map, KvServerConfig cfg)
-    : sched_(sched), msgs_(msgs), map_(map), cfg_(cfg) {}
+    : sched_(sched), msgs_(msgs), map_(map), cfg_(cfg) {
+  obs::Registry& reg = obs::Registry::of(sched_);
+  const std::string node = "{node=" + std::to_string(msgs_.host().v) + "}";
+  reg.add_collector(this, [this, &reg, node] {
+    const KvServerStats& s = stats_;
+    reg.counter("kv.server_gets" + node, "requests").set(s.gets);
+    reg.counter("kv.server_puts" + node, "requests").set(s.puts);
+    reg.counter("kv.server_dels" + node, "requests").set(s.dels);
+    reg.counter("kv.server_backup_reads" + node, "requests")
+        .set(s.backup_reads);
+    reg.counter("kv.server_forwards" + node, "requests").set(s.forwards);
+    reg.counter("kv.server_not_owner" + node, "requests").set(s.not_owner);
+    reg.counter("kv.server_dup_requests" + node, "requests")
+        .set(s.dup_requests);
+    reg.counter("kv.server_cached_replies" + node, "requests")
+        .set(s.cached_replies);
+    reg.counter("kv.server_replicates_tx" + node, "messages")
+        .set(s.replicates_tx);
+    reg.counter("kv.server_replicates_rx" + node, "messages")
+        .set(s.replicates_rx);
+    reg.counter("kv.server_dup_replicates" + node, "messages")
+        .set(s.dup_replicates);
+    reg.counter("kv.server_repl_retries" + node, "attempts")
+        .set(s.repl_retries);
+    reg.counter("kv.server_repl_failures" + node, "writes")
+        .set(s.repl_failures);
+    reg.counter("kv.server_bad_msgs" + node, "messages").set(s.bad_msgs);
+  });
+}
+
+KvServer::~KvServer() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
+}
 
 void KvServer::start() { serve_loop(); }
 

@@ -32,6 +32,7 @@
 
 #include "kv/shard_map.hpp"
 #include "kv/wire.hpp"
+#include "obs/metrics.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/process.hpp"
 #include "vmmc/rpc.hpp"
@@ -67,6 +68,7 @@ class KvServer {
  public:
   KvServer(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs, const ShardMap& map,
            KvServerConfig cfg = {});
+  ~KvServer();
 
   /// Spawn the serve loop. Call once, after the rig connected the mesh.
   void start();

@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <string>
 #include <utility>
 
 #include "net/crc.hpp"
@@ -10,6 +11,47 @@ Fabric::Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg)
     : sched_(sched), topo_(&topo), cfg_(cfg), rng_(cfg.seed) {
   rx_.resize(topo.num_hosts());
   ensure_link_state();
+
+  obs::Registry& reg = obs::Registry::of(sched_);
+  trace_ = &reg.trace();
+  reg.add_collector(this, [this, &reg] {
+    const FabricStats& s = stats_;
+    reg.counter("fabric.injected", "packets").set(s.injected);
+    reg.counter("fabric.delivered", "packets").set(s.delivered);
+    reg.counter("fabric.delivered_corrupt", "packets")
+        .set(s.delivered_corrupt);
+    reg.counter("fabric.corruptions_injected", "packets")
+        .set(s.corruptions_injected);
+    reg.counter("fabric.dropped_link_down", "packets")
+        .set(s.dropped_link_down);
+    reg.counter("fabric.dropped_switch_dead", "packets")
+        .set(s.dropped_switch_dead);
+    reg.counter("fabric.dropped_misroute", "packets")
+        .set(s.dropped_misroute);
+    reg.counter("fabric.dropped_random", "packets").set(s.dropped_random);
+    reg.counter("fabric.dropped_path_reset", "packets")
+        .set(s.dropped_path_reset);
+    reg.counter("fabric.dropped_unattached", "packets")
+        .set(s.dropped_unattached);
+    // Per-link utilization: the FifoServer's exact busy-time accounting,
+    // exported per direction so trunk asymmetries are visible.
+    for (std::size_t l = 0; l < link_srv_.size(); ++l) {
+      const std::string ab = "{link=" + std::to_string(l) + ",dir=ab}";
+      const std::string ba = "{link=" + std::to_string(l) + ",dir=ba}";
+      reg.counter("fabric.link_busy_ns" + ab, "ns")
+          .set(static_cast<std::uint64_t>(link_srv_[l].ab.busy_time()));
+      reg.counter("fabric.link_busy_ns" + ba, "ns")
+          .set(static_cast<std::uint64_t>(link_srv_[l].ba.busy_time()));
+      reg.counter("fabric.link_pkts" + ab, "packets")
+          .set(link_srv_[l].ab.jobs_served());
+      reg.counter("fabric.link_pkts" + ba, "packets")
+          .set(link_srv_[l].ba.jobs_served());
+    }
+  });
+}
+
+Fabric::~Fabric() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
 }
 
 void Fabric::ensure_link_state() {
@@ -39,6 +81,10 @@ void Fabric::drop(const Packet& pkt, DropReason reason) {
     case DropReason::kPathReset: ++stats_.dropped_path_reset; break;
     case DropReason::kNotAttached: ++stats_.dropped_unattached; break;
   }
+  trace_->emit(obs::TraceEvent{sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v,
+                               pkt.hdr.seq, static_cast<std::uint32_t>(reason),
+                               pkt.hdr.generation, 0,
+                               obs::TraceKind::kFabricDrop});
   if (drop_hook_) drop_hook_(pkt, reason);
 }
 
@@ -121,6 +167,7 @@ void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
     // Header/route corruption and empty payloads are caught by the marker:
     // the receiver's CRC check is forced to fail.
     pkt.corrupt_marker = true;
+    ++stats_.corruptions_injected;
   }
 
   const LinkModel& model = topo_->link_model(l);
@@ -146,6 +193,11 @@ void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
   } else {
     // Head arrival at the next crossbar, plus its fall-through delay. Record
     // the port the packet enters through (see Packet::in_ports).
+    trace_->emit(obs::TraceEvent{
+        sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v, pkt.hdr.seq,
+        att->peer.port, pkt.hdr.generation,
+        static_cast<std::uint16_t>(peer.as_switch().v),
+        obs::TraceKind::kHopTraverse});
     pkt.in_ports.push_back(att->peer.port);
     const sim::Time head_arrival =
         sim::time_add(sim::time_add(start, model.latency), cfg_.switch_delay);

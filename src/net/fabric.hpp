@@ -25,6 +25,7 @@
 
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/server.hpp"
@@ -56,6 +57,7 @@ struct FabricStats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   std::uint64_t delivered_corrupt = 0;  // delivered but failing CRC
+  std::uint64_t corruptions_injected = 0;  // link fault flipped payload bits
   std::uint64_t dropped_link_down = 0;
   std::uint64_t dropped_switch_dead = 0;
   std::uint64_t dropped_misroute = 0;
@@ -83,6 +85,7 @@ class Fabric {
   using DropHook = std::function<void(const Packet&, DropReason)>;
 
   Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg = {});
+  ~Fabric();
 
   /// Register the receive handler for a host NIC. Called with fully-arrived
   /// packets (tail on the wire has arrived); CRC checking is the NIC's job.
@@ -141,6 +144,7 @@ class Fabric {
   FabricStats stats_;
   DropHook drop_hook_;
   DeliveryHook delivery_hook_;
+  obs::TraceRing* trace_ = nullptr;  // packet-lifecycle hop/drop events
   std::uint64_t next_wire_id_ = 1;
   /// Set by step() on the injection hop (hosts do not forward, so the first
   /// synchronous step call is the only host-originated one).

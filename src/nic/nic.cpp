@@ -21,6 +21,37 @@ Nic::Nic(sim::Scheduler& sched, net::Fabric& fabric, net::HostId self,
       host_dma_(sched),
       pool_(cfg.send_buffers, cfg.costs.buffer_bytes) {
   fabric_.attach(self_, [this](net::Packet&& pkt) { on_fabric_rx(std::move(pkt)); });
+
+  obs::Registry& reg = obs::Registry::of(sched_);
+  const std::string node = "{node=" + std::to_string(self_.v) + "}";
+  buf_in_use_ = &reg.histogram("nic.send_buffers_in_use" + node, "buffers");
+  reg.add_collector(this, [this, &reg, node] {
+    const NicStats& s = stats_;
+    reg.counter("nic.host_submits" + node, "packets").set(s.host_submits);
+    reg.counter("nic.pio_sends" + node, "packets").set(s.pio_sends);
+    reg.counter("nic.dma_sends" + node, "packets").set(s.dma_sends);
+    reg.counter("nic.wire_tx" + node, "packets").set(s.wire_tx);
+    reg.counter("nic.wire_rx" + node, "packets").set(s.wire_rx);
+    reg.counter("nic.bytes_tx" + node, "bytes").set(s.bytes_tx);
+    reg.counter("nic.bytes_rx" + node, "bytes").set(s.bytes_rx);
+    reg.counter("nic.crc_failures" + node, "packets").set(s.crc_failures);
+    reg.counter("nic.host_deliveries" + node, "packets")
+        .set(s.host_deliveries);
+    reg.counter("nic.injection_stalls" + node, "stalls")
+        .set(s.injection_stalls);
+    reg.counter("nic.cpu_busy_ns" + node, "ns")
+        .set(static_cast<std::uint64_t>(cpu_.busy_time()));
+    reg.counter("nic.host_dma_busy_ns" + node, "ns")
+        .set(static_cast<std::uint64_t>(host_dma_.busy_time()));
+    reg.gauge("nic.send_buffers_free" + node, "buffers")
+        .set(static_cast<std::int64_t>(pool_.free_count()));
+    reg.gauge("nic.send_waiters" + node, "requests")
+        .set(static_cast<std::int64_t>(pool_.waiting()));
+  });
+}
+
+Nic::~Nic() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
 }
 
 void Nic::host_submit(SendRequest req, std::function<void()> on_accepted) {
@@ -32,6 +63,8 @@ void Nic::host_submit(SendRequest req, std::function<void()> on_accepted) {
   // Host library overhead, then block until a send buffer is free.
   sched_.after(cfg_.host.send_overhead, [this, req = std::move(req),
                                          on_accepted = std::move(on_accepted)]() mutable {
+    buf_in_use_->record(pool_.in_use());
+    if (pool_.free_count() == 0) ++stats_.injection_stalls;
     pool_.acquire([this, req = std::move(req),
                    on_accepted = std::move(on_accepted)]() mutable {
       const std::size_t bytes = req.payload.size();

@@ -21,6 +21,7 @@
 #include "net/packet.hpp"
 #include "nic/buffers.hpp"
 #include "nic/cost_model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/server.hpp"
 #include "sim/time.hpp"
@@ -72,6 +73,9 @@ struct NicStats {
   std::uint64_t host_deliveries = 0;
   std::uint64_t bytes_tx = 0;
   std::uint64_t bytes_rx = 0;
+  /// Submissions that found the send-buffer pool empty and had to block
+  /// (the paper's "lack of send buffers" stall).
+  std::uint64_t injection_stalls = 0;
 };
 
 class Nic {
@@ -83,6 +87,7 @@ class Nic {
 
   Nic(sim::Scheduler& sched, net::Fabric& fabric, net::HostId self,
       NicConfig cfg);
+  ~Nic();
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -135,6 +140,9 @@ class Nic {
   sim::FifoServer host_dma_;  // SRAM <-> host memory over PCI (one engine)
   BufferPool pool_;
   NicStats stats_;
+
+  // Observability (src/obs): queue-depth distribution sampled per submit.
+  obs::Histogram* buf_in_use_ = nullptr;
 };
 
 }  // namespace sanfault::nic

@@ -1,0 +1,128 @@
+// Minimal allocation-friendly JSON writer for metrics/trace export.
+//
+// The simulator has no third-party JSON dependency, and the export path only
+// ever *writes* JSON, so a tiny append-only builder with automatic comma
+// management is all that is needed. Nesting is tracked with a small stack so
+// objects/arrays can be opened and closed without the caller counting commas.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sanfault::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    pre_value();
+    out_ += '{';
+    stack_.push_back(Frame::kObject);
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    pre_value();
+    out_ += '[';
+    stack_.push_back(Frame::kArray);
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+  }
+
+  /// Emit `"name":` inside the current object; the next value call supplies
+  /// the value (pre_value() knows a key was just written).
+  JsonWriter& key(std::string_view name) {
+    comma();
+    quote(name);
+    out_ += ':';
+    keyed_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    pre_value();
+    quote(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    pre_value();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    pre_value();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void comma() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  void pre_value() {
+    if (keyed_) {
+      keyed_ = false;  // key() already placed the comma
+    } else if (!stack_.empty()) {
+      comma();
+    }
+  }
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool first_ = true;
+  bool keyed_ = false;
+};
+
+}  // namespace sanfault::obs

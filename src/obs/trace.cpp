@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace sanfault::obs {
+
+std::string_view trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kHostEnqueue: return "host_enqueue";
+    case TraceKind::kWireInject: return "wire_inject";
+    case TraceKind::kInjectedDrop: return "injected_drop";
+    case TraceKind::kHopTraverse: return "hop_traverse";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kDupDrop: return "dup_drop";
+    case TraceKind::kOooDrop: return "ooo_drop";
+    case TraceKind::kStaleGenDrop: return "stale_gen_drop";
+    case TraceKind::kCorruptDrop: return "corrupt_drop";
+    case TraceKind::kFabricDrop: return "fabric_drop";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kAckTx: return "ack_tx";
+    case TraceKind::kAckRx: return "ack_rx";
+    case TraceKind::kTimerFire: return "timer_fire";
+    case TraceKind::kPathFail: return "path_fail";
+    case TraceKind::kRemapStart: return "remap_start";
+    case TraceKind::kRemapDone: return "remap_done";
+    case TraceKind::kGenRestart: return "gen_restart";
+  }
+  return "unknown";
+}
+
+void TraceRing::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceEvent{});
+  head_ = 0;
+  wrapped_ = false;
+  recorded_ = 0;
+  enabled_ = true;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  if (ring_.empty()) return out;
+  if (wrapped_) {
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+  } else {
+    out.reserve(head_);
+  }
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+void TraceRing::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("enabled").value(enabled_);
+  w.key("capacity").value(static_cast<std::uint64_t>(ring_.size()));
+  w.key("recorded").value(recorded_);
+  w.key("dropped").value(dropped());
+  w.key("events").begin_array();
+  for (const TraceEvent& e : snapshot()) {
+    w.begin_object();
+    w.key("t").value(static_cast<std::uint64_t>(e.t));
+    w.key("kind").value(trace_kind_name(e.kind));
+    w.key("node").value(static_cast<std::uint64_t>(e.node));
+    w.key("src").value(static_cast<std::uint64_t>(e.src));
+    w.key("dst").value(static_cast<std::uint64_t>(e.dst));
+    w.key("seq").value(static_cast<std::uint64_t>(e.seq));
+    w.key("gen").value(static_cast<std::uint64_t>(e.gen));
+    w.key("arg").value(static_cast<std::uint64_t>(e.arg));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace sanfault::obs

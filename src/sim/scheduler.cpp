@@ -7,6 +7,16 @@
 
 namespace sanfault::sim {
 
+Scheduler::~Scheduler() {
+  // LIFO, and robust to a hook registering nothing further (hooks must not
+  // schedule events — the queue is no longer run).
+  while (!teardown_.empty()) {
+    auto fn = std::move(teardown_.back());
+    teardown_.pop_back();
+    fn();
+  }
+}
+
 EventHandle Scheduler::at(Time t, std::function<void()> fn) {
   if (t < now_) throw std::logic_error("Scheduler::at: time is in the past");
   const std::uint64_t id = next_id_++;

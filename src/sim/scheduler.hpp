@@ -32,8 +32,18 @@ class EventHandle {
 class Scheduler {
  public:
   Scheduler() = default;
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Register a hook to run when the scheduler is destroyed, LIFO. This is
+  /// the attachment point for per-simulation finalization that outlives any
+  /// single component — e.g. the observability registry exports its metrics
+  /// JSON from here (src/obs), after every NIC/firmware has already synced
+  /// its final counter values.
+  void at_teardown(std::function<void()> fn) {
+    teardown_.push_back(std::move(fn));
+  }
 
   [[nodiscard]] Time now() const { return now_; }
 
@@ -84,6 +94,7 @@ class Scheduler {
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_set<std::uint64_t> pending_ids_;
+  std::vector<std::function<void()>> teardown_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;

@@ -35,6 +35,25 @@ TrafficEngine::TrafficEngine(sim::Scheduler& sched,
       keys_(cfg.num_keys, cfg.zipf_theta),
       next_seq_(cfg.num_clients, 0) {
   assert(!hosts_.empty());
+
+  obs::Registry& reg = obs::Registry::of(sched_);
+  req_latency_ = &reg.histogram("traffic.request_latency_ns", "ns");
+  reg.add_collector(this, [this, &reg] {
+    const TrafficStats& s = stats_;
+    reg.counter("traffic.issued", "requests").set(s.issued);
+    reg.counter("traffic.completed", "requests").set(s.completed);
+    reg.counter("traffic.ok", "requests").set(s.ok);
+    reg.counter("traffic.failed", "requests").set(s.failed);
+    reg.counter("traffic.retries", "attempts").set(s.retries);
+    reg.counter("traffic.failovers", "calls").set(s.failovers);
+    reg.counter("traffic.gets", "requests").set(s.gets);
+    reg.counter("traffic.puts", "requests").set(s.puts);
+    reg.counter("traffic.dels", "requests").set(s.dels);
+  });
+}
+
+TrafficEngine::~TrafficEngine() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
 }
 
 void TrafficEngine::start() { generate(); }
@@ -109,6 +128,7 @@ sim::Process TrafficEngine::run_op(std::uint64_t client, kv::RequestId id,
     ++stats_.ok;
     ++w.ok;
     stats_.latency.add(o.latency());
+    req_latency_->record(static_cast<std::uint64_t>(o.latency()));
     if (is_write) shadow_.record_committed(id);
   } else {
     ++stats_.failed;

@@ -27,6 +27,7 @@
 #include "kv/audit.hpp"
 #include "kv/client.hpp"
 #include "kv/shard_map.hpp"
+#include "obs/metrics.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
@@ -105,6 +106,7 @@ class TrafficEngine {
  public:
   TrafficEngine(sim::Scheduler& sched, std::vector<kv::KvClientHost*> hosts,
                 TrafficConfig cfg);
+  ~TrafficEngine();
 
   /// Spawn the arrival generator; requests fan out as their own processes.
   void start();
@@ -132,6 +134,7 @@ class TrafficEngine {
   std::vector<std::uint64_t> next_seq_;  // per logical client
   TrafficStats stats_;
   kv::ShadowMap shadow_;
+  obs::Histogram* req_latency_ = nullptr;  // successful requests only
 };
 
 }  // namespace sanfault::traffic

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace sanfault::vmmc {
 
@@ -21,6 +22,26 @@ Endpoint::Endpoint(sim::Scheduler& sched, nic::Nic& nic)
                           net::HostId src) {
     on_host_rx(u, std::move(p), src);
   });
+
+  obs::Registry& reg = obs::Registry::of(sched_);
+  const std::string node = "{node=" + std::to_string(nic_.self().v) + "}";
+  reg.add_collector(this, [this, &reg, node] {
+    const EndpointStats& s = stats_;
+    reg.counter("vmmc.sends" + node, "messages").set(s.sends);
+    reg.counter("vmmc.segments_tx" + node, "segments").set(s.segments_tx);
+    reg.counter("vmmc.bytes_tx" + node, "bytes").set(s.bytes_tx);
+    reg.counter("vmmc.deposits_rx" + node, "messages").set(s.deposits_rx);
+    reg.counter("vmmc.segments_rx" + node, "segments").set(s.segments_rx);
+    reg.counter("vmmc.bytes_rx" + node, "bytes").set(s.bytes_rx);
+    reg.counter("vmmc.rejected_rx" + node, "segments").set(s.rejected_rx);
+    reg.counter("vmmc.imports_ok" + node, "imports").set(s.imports_ok);
+    reg.counter("vmmc.imports_denied" + node, "imports")
+        .set(s.imports_denied);
+  });
+}
+
+Endpoint::~Endpoint() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
 }
 
 net::UserHeader Endpoint::encode(Kind kind, ExportId exp, bool last,

@@ -25,6 +25,7 @@
 
 #include "net/ids.hpp"
 #include "nic/nic.hpp"
+#include "obs/metrics.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
@@ -58,6 +59,7 @@ struct EndpointStats {
 class Endpoint {
  public:
   Endpoint(sim::Scheduler& sched, nic::Nic& nic);
+  ~Endpoint();
 
   /// Export `bytes` of receive space. Returns the id importers use.
   ExportId export_buffer(std::size_t bytes);

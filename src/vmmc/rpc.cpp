@@ -1,6 +1,7 @@
 #include "vmmc/rpc.hpp"
 
 #include <cassert>
+#include <string>
 
 namespace sanfault::vmmc {
 
@@ -12,6 +13,21 @@ MsgEndpoint::MsgEndpoint(sim::Scheduler& sched, Endpoint& ep,
          "MsgEndpoint must own the first export of its Endpoint");
   (void)ring;
   pump();
+
+  obs::Registry& reg = obs::Registry::of(sched_);
+  const std::string node = "{node=" + std::to_string(ep_.host().v) + "}";
+  reg.add_collector(this, [this, &reg, node] {
+    const MsgEndpointStats& s = stats_;
+    reg.counter("vmmc.msg_tx" + node, "messages").set(s.msgs_tx);
+    reg.counter("vmmc.msg_rx" + node, "messages").set(s.msgs_rx);
+    reg.counter("vmmc.msg_bytes_tx" + node, "bytes").set(s.bytes_tx);
+    reg.counter("vmmc.msg_bytes_rx" + node, "bytes").set(s.bytes_rx);
+    reg.counter("vmmc.msg_connects" + node, "imports").set(s.connects);
+  });
+}
+
+MsgEndpoint::~MsgEndpoint() {
+  if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
 }
 
 sim::Task<bool> MsgEndpoint::connect(net::HostId remote) {

@@ -61,6 +61,7 @@ class MsgEndpoint {
   MsgEndpoint(sim::Scheduler& sched, Endpoint& ep,
               std::size_t per_peer_bytes = 64 * 1024,
               std::size_t max_peers = 16);
+  ~MsgEndpoint();
 
   /// Import `remote`'s ring (one control round trip). Must complete before
   /// the first post() to that host. Returns false if the remote has no
