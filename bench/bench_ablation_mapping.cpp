@@ -40,7 +40,7 @@ Recovery measure_recovery(harness::MapperKind mk) {
   // Steady traffic host0 (sw8_a) -> host3 (sw8_b).
   int delivered = 0;
   sim::Time last_delivery = 0;
-  c.nic(3).set_host_rx([&](net::UserHeader, std::vector<std::uint8_t>,
+  c.nic(3).set_host_rx([&](net::UserHeader, net::PayloadRef,
                            net::HostId) {
     ++delivered;
     last_delivery = c.sched.now();

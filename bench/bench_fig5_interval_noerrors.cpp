@@ -6,14 +6,25 @@
 // the ack latency); 1 ms or longer is near-free.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "harness/table.hpp"
+#include "parallel_sweep.hpp"
 #include "sweep_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace sanfault;
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  bool full = false;
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (!bench::parse_jobs_flag(i, argc, argv, jobs)) {
+      std::fprintf(stderr, "usage: %s [--full] [--jobs <N>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const std::vector<sim::Duration> intervals = {
       sim::microseconds(10), sim::microseconds(100), sim::milliseconds(1),
@@ -23,21 +34,31 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 5: retransmission interval, no errors, q=32 ===\n\n");
 
-  // Measure every point once (each yields bidi + uni).
-  std::vector<std::vector<benchsweep::PointResult>> grid(sizes.size());
-  std::vector<benchsweep::PointResult> baseline(sizes.size());
+  // Measure every point once (each yields bidi + uni). Cells are declared in
+  // report order and may run on any worker thread; see parallel_sweep.hpp.
+  std::vector<std::function<benchsweep::PointResult()>> cells;
   for (std::size_t si = 0; si < sizes.size(); ++si) {
     benchsweep::PointConfig base;
     base.msg_bytes = sizes[si];
     base.full = full;
     base.with_ft = false;
-    baseline[si] = benchsweep::run_point(base);
+    cells.emplace_back([base] { return benchsweep::run_point(base); });
     for (auto iv : intervals) {
       benchsweep::PointConfig pc = base;
       pc.with_ft = true;
       pc.retrans_interval = iv;
-      grid[si].push_back(benchsweep::run_point(pc));
+      cells.emplace_back([pc] { return benchsweep::run_point(pc); });
     }
+  }
+  const auto res = bench::run_cells<benchsweep::PointResult>(jobs, cells);
+
+  const std::size_t stride = 1 + intervals.size();
+  std::vector<std::vector<benchsweep::PointResult>> grid(sizes.size());
+  std::vector<benchsweep::PointResult> baseline(sizes.size());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    baseline[si] = res[si * stride];
+    grid[si].assign(res.begin() + static_cast<std::ptrdiff_t>(si * stride + 1),
+                    res.begin() + static_cast<std::ptrdiff_t>((si + 1) * stride));
   }
 
   for (const bool uni : {false, true}) {

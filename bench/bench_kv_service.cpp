@@ -17,6 +17,7 @@
 //   ./build/bench/bench_kv_service [--quick] [--json <file>]
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "kv/audit.hpp"
 #include "kv/rig.hpp"
 #include "obs/metrics.hpp"
+#include "parallel_sweep.hpp"
 #include "traffic/engine.hpp"
 
 namespace {
@@ -198,6 +200,7 @@ bool write_metrics_json(const char* path, const std::vector<RunResult>& rows) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  unsigned jobs = 1;
   const char* json_path = nullptr;
   const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -207,10 +210,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
-    } else {
+    } else if (!bench::parse_jobs_flag(i, argc, argv, jobs)) {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--json <file>] "
-                   "[--metrics-json <file>]\n",
+                   "[--metrics-json <file>] [--jobs <N>]\n",
                    argv[0]);
       return 2;
     }
@@ -232,26 +235,34 @@ int main(int argc, char** argv) {
       "%llu requests @ %.0fk rps, Zipf(0.99)\n\n",
       static_cast<unsigned long long>(total_requests), rate_rps / 1e3);
 
-  std::vector<RunResult> rows;
-  harness::Table t({"Clients", "Err", "Campaign", "Goodput(rps)", "Avail",
-                    "p50(us)", "p90(us)", "p99(us)", "p99.9(us)", "Retries",
-                    "Failovers", "PathFail", "Audit"});
+  // Each cell owns its scheduler and registry; run them on a worker pool
+  // (declaration-order results, so output is identical for any --jobs N).
+  std::vector<std::function<RunResult()>> cells;
   for (const std::size_t clients : client_counts) {
     for (const Err& e : errs) {
       for (const bool kill : {false, true}) {
         const RunSpec spec{clients, e.name, e.drop_interval, kill};
-        RunResult r =
-            run_cell(spec, total_requests, rate_rps, metrics_path != nullptr);
-        rows.push_back(r);
-        t.add_row({std::to_string(clients), e.name,
-                   kill ? "link-kill" : "steady", harness::fmt(r.goodput_rps, 0),
-                   harness::fmt(r.availability, 4), harness::fmt(r.p50_us, 1),
-                   harness::fmt(r.p90_us, 1), harness::fmt(r.p99_us, 1),
-                   harness::fmt(r.p999_us, 1), std::to_string(r.retries),
-                   std::to_string(r.failovers), std::to_string(r.path_failures),
-                   r.audit.ok() ? "OK" : "FAIL"});
+        cells.emplace_back([spec, total_requests, rate_rps, metrics_path] {
+          return run_cell(spec, total_requests, rate_rps,
+                          metrics_path != nullptr);
+        });
       }
     }
+  }
+  const std::vector<RunResult> rows = bench::run_cells<RunResult>(jobs, cells);
+
+  harness::Table t({"Clients", "Err", "Campaign", "Goodput(rps)", "Avail",
+                    "p50(us)", "p90(us)", "p99(us)", "p99.9(us)", "Retries",
+                    "Failovers", "PathFail", "Audit"});
+  for (const RunResult& r : rows) {
+    t.add_row({std::to_string(r.spec.clients), r.spec.err_name,
+               r.spec.link_kill ? "link-kill" : "steady",
+               harness::fmt(r.goodput_rps, 0),
+               harness::fmt(r.availability, 4), harness::fmt(r.p50_us, 1),
+               harness::fmt(r.p90_us, 1), harness::fmt(r.p99_us, 1),
+               harness::fmt(r.p999_us, 1), std::to_string(r.retries),
+               std::to_string(r.failovers), std::to_string(r.path_failures),
+               r.audit.ok() ? "OK" : "FAIL"});
   }
   t.print();
 

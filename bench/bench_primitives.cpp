@@ -90,7 +90,7 @@ void BM_EndToEndPacketRaw(benchmark::State& state) {
   cfg.fw = harness::FirmwareKind::kRaw;
   harness::Cluster c(cfg);
   std::uint64_t delivered = 0;
-  c.nic(1).set_host_rx([&](net::UserHeader, std::vector<std::uint8_t>,
+  c.nic(1).set_host_rx([&](net::UserHeader, net::PayloadRef,
                            net::HostId) { ++delivered; });
   for (auto _ : state) {
     c.send(0, 1, std::vector<std::uint8_t>(4096, 1));
@@ -107,7 +107,7 @@ void BM_EndToEndPacketReliable(benchmark::State& state) {
   cfg.fw = harness::FirmwareKind::kReliable;
   harness::Cluster c(cfg);
   std::uint64_t delivered = 0;
-  c.nic(1).set_host_rx([&](net::UserHeader, std::vector<std::uint8_t>,
+  c.nic(1).set_host_rx([&](net::UserHeader, net::PayloadRef,
                            net::HostId) { ++delivered; });
   for (auto _ : state) {
     c.send(0, 1, std::vector<std::uint8_t>(4096, 1));

@@ -1,0 +1,73 @@
+// Parallel cell runner for sweep benchmarks.
+//
+// A sweep is a grid of independent simulation cells; each cell builds its own
+// sim::Scheduler (and with it its own fabric, NICs and metrics registry) from
+// fixed seeds, so cells share no mutable state and their results do not
+// depend on when or where they execute. run_cells() exploits that: cells are
+// claimed by a small thread pool, but results land in a vector indexed by
+// declaration order and all printing happens afterwards on the caller's
+// thread — the output of `--jobs N` is byte-identical to the serial run for
+// every N. (The one piece of process-global state, the obs registry map, is
+// mutex-guarded; see src/obs/metrics.cpp.)
+//
+// Usage: build the cell list in the order the report will consume it, then
+//   auto results = bench::run_cells<Result>(jobs, cells);
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sanfault::bench {
+
+/// Consume a `--jobs <N>` argument pair at argv[i] (mutating i past the
+/// value). Returns false if argv[i] is some other flag. N < 1 clamps to 1.
+inline bool parse_jobs_flag(int& i, int argc, char** argv, unsigned& jobs) {
+  if (std::strcmp(argv[i], "--jobs") != 0 || i + 1 >= argc) return false;
+  const long n = std::atol(argv[++i]);
+  jobs = n > 0 ? static_cast<unsigned>(n) : 1u;
+  return true;
+}
+
+template <class Result>
+std::vector<Result> run_cells(
+    unsigned jobs, const std::vector<std::function<Result()>>& cells) {
+  std::vector<Result> results(cells.size());
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) results[i] = cells[i]();
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(cells.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      try {
+        results[i] = cells[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t n_workers =
+      std::min<std::size_t>(jobs, cells.size());
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  // Rethrow the first failure in declaration order (deterministic too).
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace sanfault::bench

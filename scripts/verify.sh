@@ -2,8 +2,26 @@
 # Tier-1 verification: configure, build everything, run the full test suite,
 # then check bench metrics against the committed golden run.
 # This is the exact command gate a change must pass before merging.
+#
+# Optional stages:
+#   --perf-smoke   run bench_simcore --quick and fail if any metric falls
+#                  below bench/golden/simcore_floor.json (a >2x regression;
+#                  see docs/PERFORMANCE.md for the floor's provenance and
+#                  how to re-baseline it).
+#   --sanitize     additionally build with -DSANFAULT_SANITIZE=address,undefined
+#                  in build_asan/ and run the test suite under the sanitizers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PERF_SMOKE=0
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --perf-smoke) PERF_SMOKE=1 ;;
+    --sanitize) SANITIZE=1 ;;
+    *) echo "usage: $0 [--perf-smoke] [--sanitize]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
@@ -17,6 +35,39 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/bench/bench_kv_service --quick --metrics-json build/kv_quick_metrics.json >/dev/null
 python3 scripts/metrics_diff.py bench/golden/kv_quick_metrics.json \
     build/kv_quick_metrics.json
+
+if [[ "$PERF_SMOKE" == 1 ]]; then
+  echo "--- perf smoke: bench_simcore --quick vs bench/golden/simcore_floor.json"
+  ./build/bench/bench_simcore --quick --json build/simcore_quick.json
+  python3 - build/simcore_quick.json bench/golden/simcore_floor.json <<'PY'
+import json, sys
+run = json.load(open(sys.argv[1]))
+floor = json.load(open(sys.argv[2]))
+bad = []
+for key, lo in floor.items():
+    if key == "comment":
+        continue
+    got = run.get(key)
+    if got is None or got < lo:
+        bad.append(f"  {key}: measured {got}, floor {lo}")
+if bad:
+    print("perf smoke FAILED (>2x regression vs recorded baseline):")
+    print("\n".join(bad))
+    sys.exit(1)
+print("perf smoke OK:",
+      ", ".join(f"{k}={run[k]}" for k in floor if k != "comment"))
+PY
+fi
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "--- sanitizer build: -DSANFAULT_SANITIZE=address,undefined"
+  cmake -B build_asan -S . -DSANFAULT_SANITIZE=address,undefined
+  cmake --build build_asan -j"$(nproc)"
+  # lsan.supp covers the known detached sim::Process pump-loop frames (see
+  # the file's header); any other leak still fails.
+  LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
+      ctest --test-dir build_asan --output-on-failure -j"$(nproc)"
+fi
 
 cat <<'EOF'
 

@@ -74,6 +74,7 @@ void ReliableFirmware::register_metrics() {
 void ReliableFirmware::trace_ch(obs::TraceKind kind, HostId peer,
                                 std::uint32_t seq, std::uint16_t gen,
                                 std::uint32_t arg) {
+  if (!trace_->enabled()) return;
   trace_->emit(obs::TraceEvent{nic_.sched().now(), nic_.self().v, peer.v, seq,
                                arg, gen,
                                static_cast<std::uint16_t>(nic_.self().v),

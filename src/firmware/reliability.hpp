@@ -140,9 +140,13 @@ class ReliableFirmware final : public nic::FirmwareIface {
   /// Register this firmware's metrics + collector with the simulation's
   /// observability registry (src/obs); see docs/OBSERVABILITY.md.
   void register_metrics();
-  /// Lifecycle trace event derived from a packet header.
+  /// Lifecycle trace event derived from a packet header. The enabled() check
+  /// comes first so a disabled trace costs one predictable branch per emit
+  /// site — the TraceEvent is never materialized (this is on the per-packet
+  /// fast path: every data packet emits 2-3 of these).
   void trace_pkt(obs::TraceKind kind, const net::Packet& pkt,
                  std::uint32_t arg = 0) {
+    if (!trace_->enabled()) return;
     trace_->emit(obs::TraceEvent{nic_.sched().now(), pkt.hdr.src.v,
                                  pkt.hdr.dst.v, pkt.hdr.seq, arg,
                                  pkt.hdr.generation,

@@ -59,7 +59,7 @@ struct ClusterConfig {
 struct HostMsg {
   sim::Time at = 0;
   net::UserHeader user;
-  std::vector<std::uint8_t> payload;
+  net::PayloadRef payload;
   net::HostId src;
 };
 
@@ -92,11 +92,11 @@ class Cluster {
         if (cfg_.preload_routes) raw_.back()->routes().populate_all(topo, hosts[i]);
       }
       inboxes_[i] = std::make_unique<sim::Channel<HostMsg>>();
-      nics_[i]->set_host_rx([this, i](net::UserHeader u,
-                                      std::vector<std::uint8_t> p,
-                                      net::HostId src) {
-        inboxes_[i]->push(sched, HostMsg{sched.now(), u, std::move(p), src});
-      });
+      nics_[i]->set_host_rx(
+          [this, i](net::UserHeader u, net::PayloadRef p, net::HostId src) {
+            inboxes_[i]->push(sched,
+                              HostMsg{sched.now(), u, std::move(p), src});
+          });
     }
   }
 

@@ -1,5 +1,11 @@
 // CRC-32 (IEEE 802.3 polynomial, reflected), as the Myrinet network DMA
 // computes on the fly for every packet.
+//
+// The production path is slice-by-8: eight 256-entry tables let the inner
+// loop fold 8 bytes per iteration with independent lookups (Intel's
+// "Slicing-by-8" technique), roughly 5-6x the classic one-table byte loop.
+// The one-table loop is kept as crc32_update_reference — the oracle the unit
+// tests compare against over random lengths, alignments and splits.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +17,15 @@ namespace sanfault::net {
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
 
 /// Incremental form for streaming use: seed with 0xFFFFFFFF, finish by
-/// XORing with 0xFFFFFFFF.
+/// XORing with 0xFFFFFFFF. crc32_update(crc32_update(s, a), b) equals
+/// crc32_update(s, ab) for any split of ab into a and b.
 [[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
                                          std::span<const std::uint8_t> data);
+
+/// Reference implementation (classic one-table, byte at a time). Same
+/// contract as crc32_update; exists so tests can cross-check the sliced
+/// path against an independently simple formulation.
+[[nodiscard]] std::uint32_t crc32_update_reference(
+    std::uint32_t state, std::span<const std::uint8_t> data);
 
 }  // namespace sanfault::net

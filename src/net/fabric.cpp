@@ -81,10 +81,12 @@ void Fabric::drop(const Packet& pkt, DropReason reason) {
     case DropReason::kPathReset: ++stats_.dropped_path_reset; break;
     case DropReason::kNotAttached: ++stats_.dropped_unattached; break;
   }
-  trace_->emit(obs::TraceEvent{sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v,
-                               pkt.hdr.seq, static_cast<std::uint32_t>(reason),
-                               pkt.hdr.generation, 0,
-                               obs::TraceKind::kFabricDrop});
+  if (trace_->enabled()) {
+    trace_->emit(obs::TraceEvent{
+        sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v, pkt.hdr.seq,
+        static_cast<std::uint32_t>(reason), pkt.hdr.generation, 0,
+        obs::TraceKind::kFabricDrop});
+  }
   if (drop_hook_) drop_hook_(pkt, reason);
 }
 
@@ -162,7 +164,10 @@ void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
   }
   if (lf.corrupt_prob > 0.0 && rng_.bernoulli(lf.corrupt_prob)) {
     if (!pkt.payload.empty()) {
-      pkt.payload[rng_.uniform(pkt.payload.size())] ^= 0x5A;
+      // Copy-on-write: payload buffers are shared between the wire copy and
+      // the sender's retransmission queue, so corrupt a private copy.
+      pkt.payload =
+          pkt.payload.corrupted(rng_.uniform(pkt.payload.size()), 0x5A);
     }
     // Header/route corruption and empty payloads are caught by the marker:
     // the receiver's CRC check is forced to fail.
@@ -192,12 +197,16 @@ void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
     });
   } else {
     // Head arrival at the next crossbar, plus its fall-through delay. Record
-    // the port the packet enters through (see Packet::in_ports).
-    trace_->emit(obs::TraceEvent{
-        sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v, pkt.hdr.seq,
-        att->peer.port, pkt.hdr.generation,
-        static_cast<std::uint16_t>(peer.as_switch().v),
-        obs::TraceKind::kHopTraverse});
+    // the port the packet enters through (see Packet::in_ports). The
+    // enabled() guard keeps the per-hop cost of disabled tracing to one
+    // predictable branch — this is the hottest emit site in the simulator.
+    if (trace_->enabled()) {
+      trace_->emit(obs::TraceEvent{
+          sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v, pkt.hdr.seq,
+          att->peer.port, pkt.hdr.generation,
+          static_cast<std::uint16_t>(peer.as_switch().v),
+          obs::TraceKind::kHopTraverse});
+    }
     pkt.in_ports.push_back(att->peer.port);
     const sim::Time head_arrival =
         sim::time_add(sim::time_add(start, model.latency), cfg_.switch_delay);

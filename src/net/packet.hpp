@@ -7,10 +7,14 @@
 // exactly as the Myrinet network DMA does.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <vector>
+#include <iterator>
+#include <stdexcept>
 
 #include "net/ids.hpp"
+#include "net/payload.hpp"
 #include "net/route.hpp"
 
 namespace sanfault::net {
@@ -59,9 +63,52 @@ struct PacketHeader {
 inline constexpr std::size_t kHeaderWireBytes = 20;
 inline constexpr std::size_t kCrcWireBytes = 4;
 
+/// Fixed-capacity inline port list: a packet crosses at most as many switches
+/// as the network diameter (<= 5 in every topology this repo models), so the
+/// per-hop entry-port record fits in one 16-byte word — copying a Packet then
+/// never allocates for it. Overflow throws: a route longer than the capacity
+/// is a modeling bug, not a degradation to tolerate silently.
+class InPortList {
+ public:
+  using const_iterator = const std::uint8_t*;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  void push_back(std::uint8_t port) {
+    if (size_ == kCapacity) {
+      throw std::length_error("Packet in_ports overflow (route too deep)");
+    }
+    v_[size_++] = port;
+  }
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return v_[i]; }
+
+  [[nodiscard]] const_iterator begin() const { return v_.data(); }
+  [[nodiscard]] const_iterator end() const { return v_.data() + size_; }
+  [[nodiscard]] const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  [[nodiscard]] const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  friend bool operator==(const InPortList& a, const InPortList& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 15;
+  std::uint8_t size_ = 0;
+  std::array<std::uint8_t, kCapacity> v_{};
+};
+
 struct Packet {
   PacketHeader hdr;
-  std::vector<std::uint8_t> payload;
+  /// Refcounted immutable bytes: copying a Packet (hop closures, the
+  /// retransmission queue) shares the buffer instead of duplicating it.
+  PayloadRef payload;
 
   // --- set by the fabric / injection path ---
   std::uint32_t crc = 0;         // CRC32 over payload, computed at injection
@@ -72,7 +119,7 @@ struct Packet {
   /// real Myrinet mapper reconstructs with loop-back probes; recording it on
   /// the packet is a modeling simplification that preserves probe counts and
   /// timing for host probes (switch detection still pays for its guesses).
-  std::vector<std::uint8_t> in_ports;
+  InPortList in_ports;
 
   [[nodiscard]] std::size_t payload_bytes() const { return payload.size(); }
   [[nodiscard]] std::size_t wire_bytes() const {

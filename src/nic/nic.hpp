@@ -33,7 +33,7 @@ struct SendRequest {
   net::HostId dst;
   net::PacketType type = net::PacketType::kData;
   net::UserHeader user;
-  std::vector<std::uint8_t> payload;
+  net::PayloadRef payload;
 };
 
 class Nic;
@@ -83,7 +83,7 @@ class Nic {
   /// Delivered-message callback into the host library (VMMC): user header,
   /// payload, and source node.
   using HostRx =
-      std::function<void(net::UserHeader, std::vector<std::uint8_t>, net::HostId)>;
+      std::function<void(net::UserHeader, net::PayloadRef, net::HostId)>;
 
   Nic(sim::Scheduler& sched, net::Fabric& fabric, net::HostId self,
       NicConfig cfg);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <unordered_map>
 
 #include "obs/json.hpp"
@@ -15,6 +16,10 @@ namespace {
 /// Registries alive in this process, keyed by their scheduler. Entries are
 /// erased by the scheduler's teardown hook, so address reuse across
 /// consecutive simulations (tests, bench sweeps) cannot alias registries.
+/// The map is the one piece of cross-scheduler shared state in the process,
+/// so it is mutex-guarded: parallel sweep runners (bench::run_cells) create
+/// and destroy schedulers concurrently. A Registry itself is still owned by
+/// exactly one simulation thread and is not internally synchronized.
 std::unordered_map<const sim::Scheduler*, std::unique_ptr<Registry>>&
 registry_map() {
   static std::unordered_map<const sim::Scheduler*, std::unique_ptr<Registry>>
@@ -22,9 +27,15 @@ registry_map() {
   return map;
 }
 
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 }  // namespace
 
 Registry& Registry::of(sim::Scheduler& sched) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   auto& map = registry_map();
   auto it = map.find(&sched);
   if (it == map.end()) {
@@ -39,7 +50,9 @@ Registry& Registry::of(sim::Scheduler& sched) {
     }
     Registry* raw = reg.get();
     sched.at_teardown([&sched, raw] {
+      // Export outside the lock: write_json only touches this registry.
       if (!raw->export_path().empty()) raw->write_json(raw->export_path());
+      std::lock_guard<std::mutex> teardown_lock(registry_mutex());
       registry_map().erase(&sched);
     });
     it = map.emplace(&sched, std::move(reg)).first;
@@ -48,6 +61,7 @@ Registry& Registry::of(sim::Scheduler& sched) {
 }
 
 Registry* Registry::find(const sim::Scheduler& sched) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   auto& map = registry_map();
   auto it = map.find(&sched);
   return it == map.end() ? nullptr : it->second.get();

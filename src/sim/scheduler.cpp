@@ -1,8 +1,8 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace sanfault::sim {
@@ -17,31 +17,9 @@ Scheduler::~Scheduler() {
   }
 }
 
-EventHandle Scheduler::at(Time t, std::function<void()> fn) {
-  if (t < now_) throw std::logic_error("Scheduler::at: time is in the past");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return EventHandle{id};
-}
-
-bool Scheduler::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  return pending_ids_.erase(h.id()) > 0;
-}
-
-bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (pending_ids_.erase(ev.id) == 0) continue;  // was cancelled
-    assert(ev.t >= now_);
-    now_ = ev.t;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+void Scheduler::throw_past_time(Time t) const {
+  throw std::logic_error("Scheduler::at: time " + std::to_string(t) +
+                         " is in the past (now=" + std::to_string(now_) + ")");
 }
 
 void Scheduler::run() {
@@ -50,7 +28,12 @@ void Scheduler::run() {
 }
 
 void Scheduler::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
+  for (;;) {
+    // Skim first so a cancelled entry's timestamp cannot decide the loop:
+    // with the old priority_queue a cancelled event at u <= t sitting on top
+    // of a live event at v > t would let step() overshoot the horizon.
+    skim_cancelled();
+    if (heap_.empty() || key_time(heap_.front().key) > t) break;
     if (!step()) break;
   }
   now_ = std::max(now_, t);

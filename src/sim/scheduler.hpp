@@ -3,34 +3,66 @@
 // Events are (time, sequence) ordered callbacks. Sequence numbers break ties
 // FIFO so that same-timestamp events run in scheduling order, which keeps
 // every run deterministic.
+//
+// Hot-path design (see docs/PERFORMANCE.md for measurements):
+//  * the ready queue is an indexed binary heap of 24-byte PODs
+//    (time, seq, slot) — sift operations never move callables;
+//  * callables live in a pool of slot-indexed nodes, inline up to
+//    kEventInlineBytes via InlineFn, so the common timer/delivery/hop
+//    lambdas never touch the allocator after the pool warms up;
+//  * cancellation is lazy — cancel() flips a flag in the node (O(1), no
+//    hash lookup, destroys the capture immediately) — but bounded: when
+//    cancelled entries outnumber live ones the heap is compacted in O(n),
+//    so a workload that cancels almost every timer it arms (the
+//    retransmission pattern) never drags dead entries through its sifts.
+//    EventHandle carries (slot, generation); generation bumps on slot reuse
+//    make stale handles inert.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace sanfault::sim {
 
 /// Handle to a scheduled event; allows cancellation (e.g. retransmission
-/// timers that are re-armed). Default-constructed handles are inert.
+/// timers that are re-armed). Default-constructed handles are inert, and a
+/// handle whose event has fired or been cancelled stays safe to use —
+/// generation checks make it a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
+  /// Opaque nonzero identifier ((slot+1, generation) packed); 0 = invalid.
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] bool valid() const { return id_ != 0; }
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : id_((static_cast<std::uint64_t>(slot) + 1) << 32 | gen) {}
+  [[nodiscard]] std::uint32_t slot() const {
+    return static_cast<std::uint32_t>((id_ >> 32) - 1);
+  }
+  [[nodiscard]] std::uint32_t gen() const {
+    return static_cast<std::uint32_t>(id_);
+  }
   std::uint64_t id_ = 0;
 };
 
 class Scheduler {
  public:
+  /// Inline capture budget for event callables. Sized for the common
+  /// timer/delivery/completion lambdas (a this-pointer plus a few words);
+  /// oversized captures (e.g. closures carrying a whole net::Packet) take
+  /// InlineFn's heap fallback, which is what std::function did for *every*
+  /// capture beyond two words. Kept modest on purpose: the node pool's cache
+  /// footprint scales with this at high pending-event counts.
+  static constexpr std::size_t kEventInlineBytes = 48;
+  using EventFn = InlineFn<void(), kEventInlineBytes>;
+
   Scheduler() = default;
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
@@ -47,26 +79,84 @@ class Scheduler {
 
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
-  EventHandle at(Time t, std::function<void()> fn);
+  /// Schedule `fn` at absolute time `t`.
+  ///
+  /// Contract: `t` must be >= now(). Scheduling into the past throws
+  /// std::logic_error — a past-time event would either run "late" (breaking
+  /// causality silently) or reorder already-fired work, so it is always a
+  /// caller bug. Callers that want "as soon as possible" schedule at now()
+  /// (or after(0, ...)), which runs after already-queued same-time events.
+  EventHandle at(Time t, EventFn fn) {
+    if (t < now_) throw_past_time(t);
+    const std::uint32_t slot = acquire_slot();
+    nodes_[slot].fn = std::move(fn);
+    return push_entry(t, slot);
+  }
+
+  /// Overload constructing the callable in place in the pooled node — the
+  /// hot path for lambdas at call sites (no intermediate EventFn move).
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventHandle at(Time t, F&& fn) {
+    if (t < now_) throw_past_time(t);
+    const std::uint32_t slot = acquire_slot();
+    nodes_[slot].fn.emplace(std::forward<F>(fn));
+    return push_entry(t, slot);
+  }
 
   /// Schedule `fn` after `d` nanoseconds of simulated time.
-  EventHandle after(Duration d, std::function<void()> fn) {
-    return at(time_add(now_, d), std::move(fn));
+  template <class F>
+  EventHandle after(Duration d, F&& fn) {
+    return at(time_add(now_, d), std::forward<F>(fn));
   }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
   /// or invalid handle is a harmless no-op. Returns true if the event was
-  /// still pending and is now cancelled.
-  bool cancel(EventHandle h);
+  /// still pending and is now cancelled. The captured state is destroyed
+  /// immediately; the heap entry is reclaimed when it surfaces, or by the
+  /// next compaction, whichever comes first.
+  bool cancel(EventHandle h) {
+    if (!h.valid()) return false;
+    const std::uint32_t slot = h.slot();
+    if (slot >= nodes_.size()) return false;
+    Node& n = nodes_[slot];
+    if (n.gen != h.gen() || n.cancelled) return false;
+    n.cancelled = true;
+    n.fn.reset();  // release captured resources now, not at heap surfacing
+    --live_;
+    if (++cancelled_in_heap_ >= kCompactMin &&
+        cancelled_in_heap_ * 2 > heap_.size()) {
+      compact();
+    }
+    return true;
+  }
 
   /// True if the event behind `h` has neither fired nor been cancelled.
   [[nodiscard]] bool pending(EventHandle h) const {
-    return h.valid() && pending_ids_.contains(h.id());
+    if (!h.valid()) return false;
+    const std::uint32_t slot = h.slot();
+    return slot < nodes_.size() && nodes_[slot].gen == h.gen() &&
+           !nodes_[slot].cancelled;
   }
 
   /// Run the next event. Returns false when the queue is empty.
-  bool step();
+  bool step() {
+    skim_cancelled();
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    pop_top();
+    // Move the callable out before freeing: the event may (re)schedule into
+    // its own slot, and pool growth may reallocate nodes_.
+    EventFn fn = std::move(nodes_[top.slot].fn);
+    free_slot(top.slot);
+    now_ = key_time(top.key);
+    ++executed_;
+    --live_;
+    fn();
+    return true;
+  }
 
   /// Run until the event queue drains.
   void run();
@@ -77,27 +167,167 @@ class Scheduler {
   /// Run for `d` more nanoseconds of simulated time.
   void run_for(Duration d) { run_until(time_add(now_, d)); }
 
-  [[nodiscard]] std::size_t pending_events() const { return pending_ids_.size(); }
+  /// Events scheduled and neither fired nor cancelled.
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::uint64_t id;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
+  /// Heap element: ordering key plus the index of the node holding the
+  /// callable. POD — sift operations move 32 bytes, never a closure. The
+  /// (time, seq) pair is packed into one 128-bit key so ordering is a single
+  /// branch-free compare (the lexicographic two-field compare cost a
+  /// data-dependent branch per sift level, which mispredicts ~50% of the
+  /// time on jittered timestamps).
+  struct HeapEntry {
+    unsigned __int128 key;  // (t << 64) | seq
+    std::uint32_t slot;
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
+  static unsigned __int128 make_key(Time t, std::uint64_t seq) {
+    return static_cast<unsigned __int128>(t) << 64 | seq;
+  }
+
+  static Time key_time(unsigned __int128 key) {
+    return static_cast<Time>(key >> 64);
+  }
+
+  /// Pooled event node. `gen` identifies the current tenancy of the slot;
+  /// it is bumped when the slot is freed so stale EventHandles miss.
+  struct Node {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    bool cancelled = false;
+  };
+
+  /// Compaction threshold: never compact below this many cancelled entries
+  /// (the O(n) rebuild must amortize against the cancels that earned it).
+  static constexpr std::size_t kCompactMin = 64;
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    return slot;
+  }
+
+  EventHandle push_entry(Time t, std::uint32_t slot) {
+    heap_.push_back(HeapEntry{make_key(t, next_seq_++), slot});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return EventHandle{slot, nodes_[slot].gen};
+  }
+
+  void sift_up(std::size_t i) {
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].key <= e.key) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  // Bottom-up variant: the displaced entry `e` comes from the heap's back (a
+  // leaf), so instead of comparing it at every level (two compares per
+  // level), sink the hole straight to a leaf (one compare per level) and
+  // sift `e` up from there — it rarely moves more than a step. The
+  // smaller-child selection is arithmetic, not a branch.
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const HeapEntry e = heap_[i];
+    std::size_t child;
+    while ((child = 2 * i + 1) + 1 < n) {
+      child += static_cast<std::size_t>(heap_[child + 1].key < heap_[child].key);
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    if (child < n) {  // lone last child (even heap size)
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = e;
+    sift_up(i);
+  }
+
+  void pop_top() {
+    const HeapEntry back = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = back;
+      sift_down(0);
+    }
+  }
+
+  void free_slot(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    n.fn.reset();
+    n.cancelled = false;
+    if (++n.gen == 0) n.gen = 1;  // generation 0 is reserved, never valid
+    free_slots_.push_back(slot);
+  }
+
+  /// Discard cancelled entries sitting on top of the heap.
+  void skim_cancelled() {
+    while (!heap_.empty()) {
+      const std::uint32_t slot = heap_.front().slot;
+      if (!nodes_[slot].cancelled) return;
+      pop_top();
+      free_slot(slot);
+      --cancelled_in_heap_;
+    }
+  }
+
+  /// Drop every cancelled entry and rebuild the heap in O(n) (Floyd). Pop
+  /// order is unchanged: the heap property is rebuilt under the same total
+  /// (time, seq) order, so the sequence of surfaced minima is identical.
+  void compact() {
+    std::size_t w = 0;
+    for (const HeapEntry& e : heap_) {
+      if (nodes_[e.slot].cancelled) {
+        free_slot(e.slot);
+      } else {
+        heap_[w++] = e;
+      }
+    }
+    heap_.resize(w);
+    for (std::size_t i = w / 2; i-- > 0;) {
+      sift_down_classic(i);
+    }
+    cancelled_in_heap_ = 0;
+  }
+
+  /// Textbook sift (compare `e` at each level) — used by compact(), where
+  /// the displaced entry is not biased toward the leaves.
+  void sift_down_classic(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const HeapEntry e = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].key < heap_[child].key) ++child;
+      if (heap_[child].key >= e.key) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = e;
+  }
+
+  [[noreturn]] void throw_past_time(Time t) const;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::function<void()>> teardown_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+  std::size_t cancelled_in_heap_ = 0;
   std::uint64_t executed_ = 0;
 };
 

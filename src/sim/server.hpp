@@ -8,8 +8,6 @@
 // queue, and utilization accounting is exact.
 #pragma once
 
-#include <functional>
-
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -21,7 +19,7 @@ class FifoServer {
 
   /// Enqueue a job needing `service` time; `on_done` (optional) fires at
   /// completion. Returns the completion time.
-  Time submit(Duration service, std::function<void()> on_done = {}) {
+  Time submit(Duration service, Scheduler::EventFn on_done = {}) {
     const Time start = free_at_ > sched_.now() ? free_at_ : sched_.now();
     free_at_ = time_add(start, service);
     busy_ += service;

@@ -18,10 +18,10 @@ constexpr std::uint64_t kLastBit = 1ull << 55;
 
 Endpoint::Endpoint(sim::Scheduler& sched, nic::Nic& nic)
     : sched_(sched), nic_(nic) {
-  nic_.set_host_rx([this](net::UserHeader u, std::vector<std::uint8_t> p,
-                          net::HostId src) {
-    on_host_rx(u, std::move(p), src);
-  });
+  nic_.set_host_rx(
+      [this](net::UserHeader u, net::PayloadRef p, net::HostId src) {
+        on_host_rx(u, std::move(p), src);
+      });
 
   obs::Registry& reg = obs::Registry::of(sched_);
   const std::string node = "{node=" + std::to_string(nic_.self().v) + "}";
@@ -124,7 +124,7 @@ sim::Task<void> Endpoint::send(Import imp, std::size_t offset,
   } while (pos < total);
 }
 
-void Endpoint::on_host_rx(net::UserHeader u, std::vector<std::uint8_t> payload,
+void Endpoint::on_host_rx(net::UserHeader u, net::PayloadRef payload,
                           net::HostId src) {
   const auto kind = static_cast<Kind>(u.w0 >> kKindShift);
   switch (kind) {
@@ -161,7 +161,7 @@ void Endpoint::on_host_rx(net::UserHeader u, std::vector<std::uint8_t> payload,
 }
 
 void Endpoint::handle_deposit(net::UserHeader u,
-                              std::vector<std::uint8_t> payload,
+                              const net::PayloadRef& payload,
                               net::HostId src) {
   const auto exp = static_cast<ExportId>(u.w0 & 0xFFFFFFFFull);
   const auto it = exports_.find(exp);

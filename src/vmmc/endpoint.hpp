@@ -114,9 +114,9 @@ class Endpoint {
                                 std::uint64_t offset, std::uint64_t tag,
                                 std::uint64_t total);
 
-  void on_host_rx(net::UserHeader u, std::vector<std::uint8_t> payload,
+  void on_host_rx(net::UserHeader u, net::PayloadRef payload,
                   net::HostId src);
-  void handle_deposit(net::UserHeader u, std::vector<std::uint8_t> payload,
+  void handle_deposit(net::UserHeader u, const net::PayloadRef& payload,
                       net::HostId src);
 
   sim::Scheduler& sched_;

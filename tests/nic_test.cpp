@@ -69,7 +69,7 @@ struct NicFixture {
   struct Delivery {
     sim::Time at;
     net::UserHeader user;
-    std::vector<std::uint8_t> payload;
+    net::PayloadRef payload;
     HostId src;
   };
   std::vector<Delivery> rx0, rx1;
@@ -93,11 +93,11 @@ struct NicFixture {
         fw1(nic1) {
     fw0.routes().populate_all(topo, h0);
     fw1.routes().populate_all(topo, h1);
-    nic0.set_host_rx([this](net::UserHeader u, std::vector<std::uint8_t> p,
+    nic0.set_host_rx([this](net::UserHeader u, net::PayloadRef p,
                             HostId src) {
       rx0.push_back({sched.now(), u, std::move(p), src});
     });
-    nic1.set_host_rx([this](net::UserHeader u, std::vector<std::uint8_t> p,
+    nic1.set_host_rx([this](net::UserHeader u, net::PayloadRef p,
                             HostId src) {
       rx1.push_back({sched.now(), u, std::move(p), src});
     });

@@ -158,7 +158,7 @@ TEST_P(RandomFabricProperty, ReliableExactlyOnceOnRandomFabricWithLoss) {
   fw_b.routes().populate_all(f.topo, dst);
 
   std::vector<std::uint64_t> tags;
-  nic_b.set_host_rx([&tags](net::UserHeader u, std::vector<std::uint8_t>,
+  nic_b.set_host_rx([&tags](net::UserHeader u, net::PayloadRef,
                             net::HostId) { tags.push_back(u.w0); });
   for (std::uint64_t i = 0; i < 60; ++i) {
     nic::SendRequest req;

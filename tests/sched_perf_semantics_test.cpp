@@ -1,0 +1,250 @@
+// Semantics tests for the performance-oriented scheduler internals: lazy
+// cancellation, slot/generation reuse, heap compaction, and the determinism
+// contract the parallel sweep runner (bench/parallel_sweep.hpp) relies on.
+// The basics (ordering, FIFO ties, cancel visibility) live in
+// sim_scheduler_test.cpp; these tests drive the edges the lazy
+// representation introduces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sanfault {
+namespace {
+
+// --- lazy cancellation -----------------------------------------------------
+
+TEST(SchedLazyCancel, CancelledEventNeverFiresEvenAmongLiveTies) {
+  sim::Scheduler s;
+  std::vector<int> fired;
+  // Three events at the same timestamp; cancel the middle one. FIFO order of
+  // the survivors must hold and the cancelled one must be skipped silently.
+  s.at(10, [&] { fired.push_back(0); });
+  auto h = s.at(10, [&] { fired.push_back(1); });
+  s.at(10, [&] { fired.push_back(2); });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+}
+
+TEST(SchedLazyCancel, PendingReflectsCancelImmediately) {
+  sim::Scheduler s;
+  auto h = s.at(5, [] {});
+  EXPECT_TRUE(s.pending(h));
+  EXPECT_TRUE(s.cancel(h));
+  // Lazy cancellation leaves the heap entry in place; pending() must still
+  // report dead instantly, and pending_events() must not count it.
+  EXPECT_FALSE(s.pending(h));
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.cancel(h));
+  s.run();
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(SchedLazyCancel, CancelReleasesCallableResourcesImmediately) {
+  sim::Scheduler s;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  auto h = s.at(5, [token = std::move(token)] { (void)*token; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(s.cancel(h));
+  // The callable (and anything it captured) must be destroyed at cancel
+  // time, not when the dead heap entry is eventually skimmed.
+  EXPECT_TRUE(watch.expired());
+  s.run();
+}
+
+TEST(SchedLazyCancel, RunUntilIgnoresCancelledTopEntry) {
+  sim::Scheduler s;
+  bool late_fired = false;
+  auto h = s.at(10, [] {});
+  s.at(100, [&] { late_fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  // A cancelled entry at t=10 sits on top of the heap. run_until(50) must
+  // neither fire the live t=100 event nor let the dead entry's timestamp
+  // decide the horizon.
+  s.run_until(50);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.now(), 50u);
+  s.run();
+  EXPECT_TRUE(late_fired);
+}
+
+// --- slot/generation reuse -------------------------------------------------
+
+TEST(SchedGeneration, StaleHandleCannotTouchRecycledSlot) {
+  sim::Scheduler s;
+  int first = 0;
+  int second = 0;
+  auto h1 = s.at(1, [&] { ++first; });
+  s.run();
+  EXPECT_EQ(first, 1);
+  // h1's slot is now free. Schedule a new event — with one live slot the
+  // pool will reuse it — and check the stale handle cannot cancel it.
+  auto h2 = s.at(2, [&] { ++second; });
+  EXPECT_FALSE(s.pending(h1));
+  EXPECT_FALSE(s.cancel(h1));
+  EXPECT_TRUE(s.pending(h2));
+  s.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SchedGeneration, HeavyReuseKeepsHandlesUnambiguous) {
+  sim::Scheduler s;
+  sim::Rng rng(7);
+  // Stress slot recycling: many rounds of schedule/cancel/execute. Track
+  // what must fire and what must not; any generation aliasing shows up as a
+  // cancelled event firing or a live one getting killed by a stale handle.
+  std::uint64_t expected = 0;
+  std::vector<sim::EventHandle> stale;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<sim::EventHandle> mine;
+    for (int i = 0; i < 8; ++i) {
+      mine.push_back(s.after(1 + rng.uniform(5), [] {}));
+    }
+    // Cancel a random half; stale handles from prior rounds must all miss.
+    for (int i = 0; i < 4; ++i) {
+      const auto& h = mine[rng.uniform(mine.size())];
+      if (s.pending(h)) {
+        EXPECT_TRUE(s.cancel(h));
+      }
+    }
+    for (const auto& h : stale) {
+      EXPECT_FALSE(s.cancel(h)) << "stale handle cancelled a recycled slot";
+    }
+    for (const auto& h : mine) {
+      if (s.pending(h)) ++expected;
+    }
+    stale = std::move(mine);
+    s.run();
+  }
+  EXPECT_EQ(s.events_executed(), expected);
+}
+
+// --- compaction ------------------------------------------------------------
+
+TEST(SchedCompaction, MassCancelStillRunsSurvivorsInOrder) {
+  sim::Scheduler s;
+  // Push well past the compaction threshold (64 cancelled, > half the heap),
+  // cancel all but every 10th event, and check the survivors execute in
+  // exact time order. Compaction rebuilds the heap; a bug there shows up as
+  // misordered or lost events.
+  std::vector<sim::EventHandle> handles;
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    handles.push_back(s.at(1000 + i, [&fired, i] { fired.push_back(i); }));
+  }
+  std::vector<std::uint64_t> survivors;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (i % 10 == 0) {
+      survivors.push_back(i);
+    } else {
+      EXPECT_TRUE(s.cancel(handles[i]));
+    }
+  }
+  EXPECT_EQ(s.pending_events(), survivors.size());
+  // pending() must stay truthful across compaction's slot shuffling.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(s.pending(handles[i]), i % 10 == 0);
+  }
+  s.run();
+  EXPECT_EQ(fired, survivors);
+  EXPECT_EQ(s.events_executed(), survivors.size());
+}
+
+TEST(SchedCompaction, CancelDuringExecutionWindow) {
+  sim::Scheduler s;
+  // Cancelling from inside a running event, targeting both earlier-armed and
+  // later-armed events at the same and later times.
+  std::vector<int> fired;
+  sim::EventHandle victim_same_t;
+  sim::EventHandle victim_later;
+  s.at(10, [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(s.cancel(victim_same_t));
+    EXPECT_TRUE(s.cancel(victim_later));
+  });
+  victim_same_t = s.at(10, [&] { fired.push_back(1); });
+  victim_later = s.at(20, [&] { fired.push_back(2); });
+  s.at(30, [&] { fired.push_back(3); });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 3}));
+}
+
+// --- re-arm pattern (the reliability firmware's per-delivery shape) --------
+
+TEST(SchedReArm, CancelThenReArmKeepsOneLiveTimer) {
+  sim::Scheduler s;
+  int timer_fired = 0;
+  sim::EventHandle timer;
+  // 100 deliveries, each cancels the pending timer and arms a fresh one.
+  // Only the last armed timer may fire.
+  for (int d = 0; d < 100; ++d) {
+    s.at(static_cast<sim::Time>(d), [&s, &timer, &timer_fired] {
+      if (timer.valid() && s.pending(timer)) {
+        EXPECT_TRUE(s.cancel(timer));
+      }
+      timer = s.after(1000, [&timer_fired] { ++timer_fired; });
+    });
+  }
+  s.run();
+  EXPECT_EQ(timer_fired, 1);
+}
+
+// --- determinism under the parallel sweep runner ---------------------------
+
+// One simulation cell: a 2-host reliable cluster streaming messages with
+// injected drops, returning the full metrics registry dump. Equal JSON
+// across serial and concurrent executions is the byte-identical-output
+// contract bench/parallel_sweep.hpp promises for --jobs N.
+std::string run_reference_cell() {
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.rel.drop_interval = 50;
+  cfg.rel.fail_threshold = sim::seconds(30);
+  cfg.rel.fail_min_rounds = 100000;
+  harness::Cluster c(cfg);
+  int received = 0;
+  c.nic(1).set_host_rx(
+      [&received](net::UserHeader, net::PayloadRef, net::HostId) {
+        ++received;
+      });
+  for (int i = 0; i < 200; ++i) {
+    c.send(0, 1, std::vector<std::uint8_t>(512, static_cast<std::uint8_t>(i)));
+  }
+  c.sched.run_until(sim::seconds(10));
+  EXPECT_EQ(received, 200);
+  return obs::Registry::of(c.sched).to_json();
+}
+
+TEST(SchedDeterminism, SerialAndParallelCellsProduceIdenticalMetrics) {
+  const std::string serial = run_reference_cell();
+  ASSERT_FALSE(serial.empty());
+
+  // Same cell on 4 threads at once (the --jobs 4 shape): every run must
+  // reproduce the serial registry dump byte for byte.
+  std::vector<std::string> parallel(4);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(parallel.size());
+    for (auto& out : parallel) {
+      pool.emplace_back([&out] { out = run_reference_cell(); });
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& json : parallel) {
+    EXPECT_EQ(json, serial);
+  }
+}
+
+}  // namespace
+}  // namespace sanfault
