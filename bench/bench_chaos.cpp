@@ -1,0 +1,385 @@
+// Chaos campaign runner: the KV + open-loop traffic workload driven through
+// a matrix of declarative fault scenarios (src/chaos) on 4/8/16-node
+// Figure-2 fabrics. Where bench_kv_service asks "what does the service look
+// like under one fault", this asks "how fast does the stack *recover*, and
+// do the invariants hold" — the view self-healing-network evaluations take.
+//
+// Scenarios (each a src/chaos DSL text, phase-anchored to the workload):
+//   link-kill      — one trunk of the first redundant pair dies at p25;
+//                    on-demand remap must converge onto the twin trunk;
+//   flap-train     — the same trunk flaps down/up for ~5 cycles at p25;
+//                    go-back-N must absorb it without a generation restart;
+//   switch-death   — crossbar sw16_a dies at p25 and revives 18 ms later
+//                    (outliving the 10 ms permanent-failure threshold);
+//   partition-heal — a server host's access link is cut at p25 for 18 ms;
+//                    recovery needs remap + generation restart after heal;
+//   error-ramp     — loss/corruption rates ramp up on every link (transient
+//                    errors only; no disruptive fault);
+//   compound       — ramp + flap + NIC reset + client partition together.
+//
+// Per cell: recovery metrics from chaos::RecoveryMonitor (time-to-first-
+// redelivery, remap convergence, retransmission amplification, goodput dip
+// area), the exactly-once KV audit, and the chaos invariant checker. Any
+// invariant violation fails the process — this is the CI gate.
+//
+//   ./build/bench/bench_chaos [--quick] [--json <file>]
+//                             [--metrics-json <file>] [--log <file>]
+//                             [--jobs <N>]
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/engine.hpp"
+#include "chaos/recovery.hpp"
+#include "chaos/scenario.hpp"
+#include "harness/table.hpp"
+#include "kv/audit.hpp"
+#include "kv/rig.hpp"
+#include "obs/metrics.hpp"
+#include "parallel_sweep.hpp"
+#include "traffic/engine.hpp"
+
+namespace {
+
+using namespace sanfault;
+
+struct CellSpec {
+  const char* scenario;
+  std::size_t hosts;
+  bool require_redelivery;
+  bool require_remap;
+};
+
+struct CellResult {
+  CellSpec spec;
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double goodput_rps = 0;
+  double availability = 0;
+  chaos::RecoveryReport recovery;
+  kv::AuditResult audit;
+  std::vector<std::string> violations;
+  std::string event_log;
+  std::string metrics_json;
+};
+
+/// The scenario DSL text for `name` on an `n`-host Figure-2 fabric. Link 0
+/// is one trunk of the redundant sw8_a<->sw16_a pair (link 1 its twin);
+/// switch 1 is sw16_a; host 1 is always a server (servers are hosts
+/// 0..n/2-1), host n-1 always a client host.
+std::string scenario_text(const std::string& name, std::size_t n) {
+  const std::string header = "scenario " + name + "\n";
+  if (name == "link-kill") {
+    return header + "seed 11\nphase p25 link_down link=0\n";
+  }
+  if (name == "flap-train") {
+    return header +
+           "seed 12\n"
+           "phase p25 flap link=0 count=5 period=2ms duty=0.5 jitter=0.25\n";
+  }
+  if (name == "switch-death") {
+    return header +
+           "seed 13\n"
+           "phase p25 switch_down switch=1\n"
+           "phase p25+18ms switch_up switch=1\n";
+  }
+  if (name == "partition-heal") {
+    // 18 ms outlives fail_threshold (10 ms), so the partitioned server's
+    // peers declare the path failed and must remap after the heal; it is
+    // far below the replication give-up, so the audit stays exactly-once.
+    return header +
+           "seed 14\n"
+           "phase p25 partition hosts=1\n"
+           "phase p25+18ms heal hosts=1\n";
+  }
+  if (name == "error-ramp") {
+    return header +
+           "seed 15\n"
+           "at 2ms error_ramp loss=0.002 corrupt=0.0005 steps=4 over=10ms\n";
+  }
+  if (name == "compound") {
+    const std::string victim = std::to_string(n - 1);
+    return header +
+           "seed 16\n"
+           "at 1ms error_ramp loss=0.001 corrupt=0.0002 steps=2 over=5ms\n"
+           "phase p25 flap link=1 count=3 period=2ms duty=0.5 jitter=0.2\n"
+           "phase p50 nic_reset host=0\n"
+           "phase p50+1ms partition hosts=" + victim + "\n" +
+           "phase p75 heal hosts=" + victim + "\n";
+  }
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::abort();
+}
+
+CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
+                    double rate_rps, std::size_t num_clients,
+                    bool want_metrics) {
+  kv::KvRigConfig rc;
+  rc.num_servers = spec.hosts / 2;
+  rc.num_client_hosts = spec.hosts - rc.num_servers;
+  rc.cluster.topo = harness::TopoKind::kFigure2;
+  rc.cluster.fw = harness::FirmwareKind::kReliable;
+  rc.cluster.mapper = harness::MapperKind::kOnDemand;
+  rc.cluster.nic.send_buffers = 64;
+  // Fast permanent-failure declaration (the paper's default is tuned for
+  // hours-long jobs); scenario timings above are calibrated against this.
+  rc.cluster.rel.fail_threshold = sim::milliseconds(10);
+  rc.cluster.rel.fail_min_rounds = 8;
+  kv::KvRig rig(rc);
+
+  chaos::RecoveryMonitor monitor(rig.c.sched);
+  rig.c.fabric().set_fault_hook(
+      [&monitor](const net::FaultEvent& ev) { monitor.on_fault(ev); });
+  rig.c.fabric().set_delivery_hook(
+      [&monitor](const net::Packet& pkt, net::HostId dst) {
+        monitor.on_delivery(pkt, dst);
+      });
+  for (firmware::ReliableFirmware* fw : rig.rel_view()) {
+    fw->set_event_hook(
+        [&monitor](const firmware::FwEvent& ev) { monitor.on_fw_event(ev); });
+  }
+
+  chaos::ChaosEngine engine(
+      rig.c.sched, rig.c.fabric(),
+      chaos::Scenario::parse(scenario_text(spec.scenario, spec.hosts)));
+  engine.set_nic_reset_fn(
+      [&rig](std::uint32_t host) { rig.c.rel(host).nic_reset(); });
+  engine.arm();
+
+  traffic::TrafficConfig tc;
+  tc.num_clients = num_clients;
+  tc.total_requests = total_requests;
+  tc.rate_rps = rate_rps;
+  tc.zipf_theta = 0.99;
+  tc.seed = 42;
+  traffic::TrafficEngine traffic(rig.c.sched, rig.client_view(), tc);
+  traffic.set_phase_hook(
+      [&engine](std::string_view phase) { engine.fire_phase(phase); });
+  traffic.start();
+
+  const sim::Time cap = sim::seconds(600);
+  while (!traffic.done() && rig.c.sched.now() < cap && rig.c.sched.step()) {
+  }
+  const double elapsed_s = sim::to_seconds(rig.c.sched.now());
+  rig.quiesce();
+  monitor.finalize();
+
+  CellResult r;
+  r.spec = spec;
+  const auto& s = traffic.stats();
+  r.issued = s.issued;
+  r.ok = s.ok;
+  r.failed = s.failed;
+  r.goodput_rps = elapsed_s > 0 ? static_cast<double>(s.ok) / elapsed_s : 0;
+  r.availability = s.availability();
+  r.recovery = monitor.report();
+  r.audit = kv::audit(*rig.map, rig.server_view(), traffic.shadow());
+  r.event_log = engine.log_text();
+
+  chaos::InvariantInput in;
+  in.audit_clean = r.audit.ok();
+  in.ops_expected = tc.total_requests;
+  in.ops_completed = s.completed;
+  in.require_redelivery = spec.require_redelivery;
+  in.require_remap = spec.require_remap;
+  r.violations = chaos::check_invariants(r.recovery, in);
+
+  if (want_metrics) r.metrics_json = obs::Registry::of(rig.c.sched).to_json();
+  return r;
+}
+
+bool write_json(const char* path, const std::vector<CellResult>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& r = rows[i];
+    const auto& rec = r.recovery;
+    std::fprintf(
+        f,
+        "  {\"scenario\": \"%s\", \"hosts\": %zu, \"issued\": %llu, "
+        "\"ok\": %llu, \"failed\": %llu, \"goodput_rps\": %.1f, "
+        "\"availability\": %.6f, \"ttfr_first_ns\": %llu, "
+        "\"ttfr_max_ns\": %llu, \"ttfr_samples\": %llu, "
+        "\"gen_restarts\": %llu, \"remap_convergences\": %llu, "
+        "\"remap_conv_max_ns\": %llu, \"retrans_amplification\": %.4f, "
+        "\"goodput_dip_area\": %.1f, \"nic_resets\": %llu, "
+        "\"audit_ok\": %s, \"invariant_violations\": %zu}%s\n",
+        r.spec.scenario, r.spec.hosts,
+        static_cast<unsigned long long>(r.issued),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.failed), r.goodput_rps,
+        r.availability, static_cast<unsigned long long>(rec.ttfr_first),
+        static_cast<unsigned long long>(rec.ttfr_max),
+        static_cast<unsigned long long>(rec.ttfr_samples),
+        static_cast<unsigned long long>(rec.gen_restarts),
+        static_cast<unsigned long long>(rec.remap_convergences),
+        static_cast<unsigned long long>(rec.remap_conv_max),
+        rec.retrans_amplification(), rec.goodput_dip_area,
+        static_cast<unsigned long long>(rec.nic_resets),
+        r.audit.ok() ? "true" : "false", r.violations.size(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+bool write_metrics_json(const char* path,
+                        const std::vector<CellResult>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& r = rows[i];
+    std::fprintf(f,
+                 "{\"cell\": {\"scenario\": \"%s\", \"hosts\": %zu},\n"
+                 "\"metrics\": %s}%s\n",
+                 r.spec.scenario, r.spec.hosts, r.metrics_json.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+/// Concatenated per-cell chaos event logs — the byte-comparable determinism
+/// artifact (scripts/verify.sh runs the campaign twice and diffs this).
+bool write_log(const char* path, const std::vector<CellResult>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  for (const CellResult& r : rows) {
+    std::fprintf(f, "=== scenario=%s hosts=%zu ===\n%s", r.spec.scenario,
+                 r.spec.hosts, r.event_log.c_str());
+  }
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  unsigned jobs = 1;
+  const char* json_path = nullptr;
+  const char* metrics_path = nullptr;
+  const char* log_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc) {
+      log_path = argv[++i];
+    } else if (!bench::parse_jobs_flag(i, argc, argv, jobs)) {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <file>] "
+                   "[--metrics-json <file>] [--log <file>] [--jobs <N>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t total_requests = quick ? 1500 : 6000;
+  const double rate_rps = quick ? 50000 : 100000;
+  const std::size_t num_clients = quick ? 64 : 250;
+
+  // Quick: one cell per scenario class across all three fabric sizes (the
+  // CI smoke + determinism gate). Full: every scenario on every size.
+  std::vector<CellSpec> specs;
+  if (quick) {
+    specs = {
+        {"link-kill", 8, true, true},
+        {"flap-train", 8, true, false},
+        {"partition-heal", 8, true, true},
+        {"error-ramp", 4, false, false},
+        {"compound", 16, true, false},
+    };
+  } else {
+    for (const std::size_t n : {std::size_t{4}, std::size_t{8},
+                                std::size_t{16}}) {
+      specs.push_back({"link-kill", n, true, true});
+      specs.push_back({"flap-train", n, true, false});
+      specs.push_back({"switch-death", n, true, false});
+      specs.push_back({"partition-heal", n, true, true});
+      specs.push_back({"error-ramp", n, false, false});
+      specs.push_back({"compound", n, true, false});
+    }
+  }
+
+  std::printf(
+      "Chaos campaign: KV service + open-loop traffic on Figure-2 fabrics, "
+      "%llu requests @ %.0fk rps per cell, %zu cells\n\n",
+      static_cast<unsigned long long>(total_requests), rate_rps / 1e3,
+      specs.size());
+
+  std::vector<std::function<CellResult()>> cells;
+  cells.reserve(specs.size());
+  for (const CellSpec& spec : specs) {
+    cells.emplace_back(
+        [spec, total_requests, rate_rps, num_clients, metrics_path] {
+          return run_cell(spec, total_requests, rate_rps, num_clients,
+                          metrics_path != nullptr);
+        });
+  }
+  const std::vector<CellResult> rows =
+      bench::run_cells<CellResult>(jobs, cells);
+
+  harness::Table t({"Scenario", "Hosts", "Goodput(rps)", "Avail", "TTFR(us)",
+                    "RemapConv(us)", "GenRestarts", "RetxAmp", "DipArea",
+                    "Audit", "Invariants"});
+  for (const CellResult& r : rows) {
+    const auto& rec = r.recovery;
+    t.add_row({r.spec.scenario, std::to_string(r.spec.hosts),
+               harness::fmt(r.goodput_rps, 0),
+               harness::fmt(r.availability, 4),
+               rec.ttfr_samples > 0
+                   ? harness::fmt(sim::to_micros(rec.ttfr_first), 1)
+                   : "-",
+               rec.remap_convergences > 0
+                   ? harness::fmt(sim::to_micros(rec.remap_conv_max), 1)
+                   : "-",
+               std::to_string(rec.gen_restarts),
+               harness::fmt(rec.retrans_amplification(), 3),
+               harness::fmt(rec.goodput_dip_area, 0),
+               r.audit.ok() ? "OK" : "FAIL",
+               r.violations.empty() ? "OK" : "FAIL"});
+  }
+  t.print();
+
+  bool all_ok = true;
+  for (const CellResult& r : rows) {
+    for (const std::string& v : r.violations) {
+      std::printf("INVARIANT VIOLATION [%s/%zu hosts]: %s\n", r.spec.scenario,
+                  r.spec.hosts, v.c_str());
+      all_ok = false;
+    }
+    if (!r.audit.ok()) all_ok = false;
+  }
+  std::printf("\nchaos invariants: %s\n",
+              all_ok ? "all cells OK" : "VIOLATIONS");
+
+  if (json_path != nullptr) all_ok = write_json(json_path, rows) && all_ok;
+  if (metrics_path != nullptr) {
+    all_ok = write_metrics_json(metrics_path, rows) && all_ok;
+  }
+  if (log_path != nullptr) all_ok = write_log(log_path, rows) && all_ok;
+  return all_ok ? 0 : 1;
+}

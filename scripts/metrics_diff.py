@@ -62,6 +62,17 @@ COST_PREFIXES = (
     "traffic.retries",
     "vmmc.rejected_rx",
     "vmmc.imports_denied",
+    # Chaos recovery counters (src/chaos, docs/CHAOS.md): slower or noisier
+    # recovery from the same injected faults is a regression. The *_ns and
+    # *_milli counters are timing-scale — gate them with a wider tolerance
+    # (scripts/verify.sh uses --tolerance 0.5 for the chaos diff).
+    "chaos.gen_regressions",
+    "chaos.remap_unconverged",
+    "chaos.remap_failures",
+    "chaos.ttfr_max_ns",
+    "chaos.remap_conv_max_ns",
+    "chaos.retrans_amplification_milli",
+    "chaos.goodput_dip_area_milli",
 )
 
 # Counter schema names where shrinkage means useful work was lost.
@@ -74,6 +85,11 @@ GOODPUT_PREFIXES = (
     "traffic.completed",
     "vmmc.deposits_rx",
     "mapper.mappings_succeeded",
+    # Chaos recovery: fewer observed recoveries for the same campaign means
+    # the protocol stopped demonstrating them.
+    "chaos.data_deliveries",
+    "chaos.remap_convergences",
+    "chaos.ttfr_samples",
 )
 
 

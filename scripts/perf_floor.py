@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Check a bench_simcore --json run against a recorded throughput floor.
+
+Usage: perf_floor.py run.json floor.json
+
+Every key in floor.json (except "comment") must be present in the run and
+measure at or above the floor value. Floors are set at half the recorded
+baseline — a red here means a >2x simulator-throughput regression; see
+docs/PERFORMANCE.md for provenance and how to re-baseline.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        run = json.load(f)
+    with open(sys.argv[2]) as f:
+        floor = json.load(f)
+    bad = []
+    for key, lo in floor.items():
+        if key == "comment":
+            continue
+        got = run.get(key)
+        if got is None or got < lo:
+            bad.append(f"  {key}: measured {got}, floor {lo}")
+    if bad:
+        print("perf smoke FAILED (>2x regression vs recorded baseline):")
+        print("\n".join(bad))
+        return 1
+    print("perf smoke OK:",
+          ", ".join(f"{k}={run[k]}" for k in floor if k != "comment"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

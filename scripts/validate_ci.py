@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Static validation for GitHub Actions workflow files.
+
+Stand-in for actionlint in environments without it: parses each workflow
+with PyYAML and checks the structural contract GitHub enforces at dispatch
+time — top-level `name`/`on`/`jobs`, every job has `runs-on` and `steps`,
+every step has exactly one of `uses`/`run`, `needs` references exist, and
+matrix interpolations only name defined matrix keys.
+
+Usage: validate_ci.py [workflow.yml ...]   (default: .github/workflows/*.yml)
+
+Exits 0 when every file passes, 1 on any violation, and 0 with a notice if
+PyYAML is unavailable (the check is advisory where the toolchain is thin;
+CI runners always have it).
+"""
+
+import glob
+import re
+import sys
+
+try:
+    import yaml
+except ImportError:  # pragma: no cover - thin toolchains only
+    print("validate_ci: PyYAML unavailable, skipping workflow validation")
+    sys.exit(0)
+
+MATRIX_REF = re.compile(r"\$\{\{\s*matrix\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def matrix_keys(job):
+    keys = set()
+    matrix = (job.get("strategy") or {}).get("matrix") or {}
+    for k, v in matrix.items():
+        if k == "include":
+            for entry in v or []:
+                keys.update(entry)
+        elif k != "exclude":
+            keys.add(k)
+    return keys
+
+
+def check_job(path, name, job, all_jobs, errors):
+    where = f"{path}: job '{name}'"
+    if not isinstance(job, dict):
+        errors.append(f"{where}: not a mapping")
+        return
+    if "runs-on" not in job:
+        errors.append(f"{where}: missing runs-on")
+    steps = job.get("steps")
+    if not isinstance(steps, list) or not steps:
+        errors.append(f"{where}: missing steps")
+        steps = []
+    needs = job.get("needs", [])
+    for dep in [needs] if isinstance(needs, str) else needs:
+        if dep not in all_jobs:
+            errors.append(f"{where}: needs unknown job '{dep}'")
+    keys = matrix_keys(job)
+    for i, step in enumerate(steps):
+        swhere = f"{where} step {i + 1}"
+        if not isinstance(step, dict):
+            errors.append(f"{swhere}: not a mapping")
+            continue
+        if ("uses" in step) == ("run" in step):
+            errors.append(f"{swhere}: needs exactly one of uses/run")
+        for ref in MATRIX_REF.findall(str(step)):
+            if ref not in keys:
+                errors.append(f"{swhere}: undefined matrix key '{ref}'")
+    for ref in MATRIX_REF.findall(str(job.get("env", {}))):
+        if ref not in keys:
+            errors.append(f"{where}: undefined matrix key '{ref}' in env")
+
+
+def check_file(path, errors):
+    with open(path) as f:
+        try:
+            doc = yaml.safe_load(f)
+        except yaml.YAMLError as e:
+            errors.append(f"{path}: YAML parse error: {e}")
+            return
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: not a mapping")
+        return
+    # PyYAML 1.1 reads the bare `on:` trigger key as boolean True.
+    triggers = doc.get("on", doc.get(True))
+    if triggers is None:
+        errors.append(f"{path}: missing 'on' trigger block")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        errors.append(f"{path}: missing jobs")
+        return
+    for name, job in jobs.items():
+        check_job(path, name, job, jobs, errors)
+
+
+def main():
+    paths = sys.argv[1:] or sorted(glob.glob(".github/workflows/*.yml"))
+    if not paths:
+        print("validate_ci: no workflow files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in paths:
+        check_file(path, errors)
+    for e in errors:
+        print(f"validate_ci: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"validate_ci: {len(paths)} workflow file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

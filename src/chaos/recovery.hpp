@@ -1,0 +1,141 @@
+// RecoveryMonitor: measures how the stack recovers from injected faults, and
+// the invariant checker campaigns gate on.
+//
+// The monitor is a passive observer wired into three event streams:
+//  * net::Fabric fault hook      — when each fault/heal transition happened;
+//  * net::Fabric delivery hook   — every packet handed to a receiver;
+//  * firmware::FwEvent hook      — path failures, remaps, generation
+//                                  restarts, NIC resets (one hook per node).
+//
+// From those it derives the recovery metrics docs/CHAOS.md defines:
+//  * time-to-first-redelivery  — disruptive fault -> first delivered packet
+//    carrying kFlagRetransmit (the protocol demonstrably recovering);
+//  * remap convergence         — generation restart -> first delivered data
+//    packet of that (src, dst, generation) (the re-mapped path carrying
+//    traffic again);
+//  * retransmission amplification — retransmitted deliveries per delivered
+//    data packet;
+//  * goodput dip area          — delivered-packet deficit vs the pre-fault
+//    per-window baseline, summed over all post-fault windows.
+//
+// Everything is keyed off simulated time, so two same-seed runs produce
+// identical reports. finalize() publishes the report as chaos.* metrics
+// (docs/OBSERVABILITY.md) for the golden-file gate in scripts/verify.sh.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "firmware/reliability.hpp"
+#include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::chaos {
+
+struct RecoveryReport {
+  // Fault-surface accounting.
+  std::uint64_t disruptive_faults = 0;  // link/switch kills, host cuts
+  std::uint64_t heals = 0;
+  sim::Time first_disruption_at = sim::kNever;
+  sim::Time last_heal_at = sim::kNever;
+
+  // Time-to-first-redelivery (one sample per disruption burst).
+  std::uint64_t ttfr_samples = 0;
+  sim::Duration ttfr_first = 0;  // the first burst's recovery time
+  sim::Duration ttfr_max = 0;
+
+  // Remap convergence (one sample per observed generation restart).
+  std::uint64_t gen_restarts = 0;
+  std::uint64_t remap_convergences = 0;
+  std::uint64_t remap_unconverged = 0;  // restarts with no later delivery
+  sim::Duration remap_conv_max = 0;
+  bool gen_regressed = false;  // a generation number moved backwards
+
+  // Firmware recovery machinery totals (summed over nodes).
+  std::uint64_t path_failures = 0;
+  std::uint64_t remap_starts = 0;
+  std::uint64_t remap_failures = 0;  // remap finished with no route
+  std::uint64_t nic_resets = 0;
+
+  // Delivery accounting.
+  std::uint64_t data_deliveries = 0;
+  std::uint64_t retrans_deliveries = 0;
+  sim::Time last_delivery_at = sim::kNever;
+
+  // Goodput dip: baseline = mean data deliveries per window before the
+  // first disruption; dip area = sum over later windows of the deficit.
+  double goodput_baseline = 0.0;  // deliveries per window
+  double goodput_dip_area = 0.0;  // total delivered-packet deficit
+
+  /// retrans_deliveries / data_deliveries (0 when idle).
+  [[nodiscard]] double retrans_amplification() const {
+    return data_deliveries == 0
+               ? 0.0
+               : static_cast<double>(retrans_deliveries) /
+                     static_cast<double>(data_deliveries);
+  }
+};
+
+class RecoveryMonitor {
+ public:
+  explicit RecoveryMonitor(sim::Scheduler& sched,
+                           sim::Duration window = sim::milliseconds(1));
+
+  // --- event sinks (bind these to the hooks) -------------------------------
+  void on_fault(const net::FaultEvent& ev);
+  void on_delivery(const net::Packet& pkt, net::HostId dst);
+  void on_fw_event(const firmware::FwEvent& ev);
+
+  /// Compute the derived metrics (goodput dip, unconverged remaps) and
+  /// publish the whole report as chaos.* metrics. Call once, after the
+  /// workload has quiesced; report() is valid afterwards.
+  void finalize();
+
+  [[nodiscard]] const RecoveryReport& report() const { return report_; }
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Duration window_;
+  RecoveryReport report_;
+  bool finalized_ = false;
+  bool awaiting_redelivery_ = false;
+  sim::Time disruption_at_ = 0;
+  std::vector<std::uint64_t> window_counts_;  // data deliveries per window
+  struct PendingGen {
+    sim::Time restarted_at;
+  };
+  // (src, dst) channel -> generation restarts awaiting their first delivery.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::map<std::uint16_t, PendingGen>>
+      pending_gens_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint16_t> last_gen_;
+};
+
+/// What the workload knows at the end of a campaign cell; feeds the
+/// invariant checker. The chaos layer stays ignorant of KV/traffic types —
+/// the campaign runner distills them to these counts.
+struct InvariantInput {
+  bool audit_clean = true;          // exactly-once application audit passed
+  std::uint64_t ops_expected = 0;   // operations issued by the workload
+  std::uint64_t ops_completed = 0;  // operations that finished
+  bool require_redelivery = false;  // scenario kills a loaded path
+  bool require_remap = false;       // scenario forces a generation restart
+};
+
+/// Check the campaign invariants; returns one human-readable line per
+/// violation (empty = all invariants hold):
+///  * exactly-once: the application audit is clean;
+///  * no sequence-generation regression on any channel;
+///  * eventual progress: every issued op completed, and traffic flowed
+///    after the last heal whenever anything was healed;
+///  * finite recovery: redelivery / remap convergence observed when the
+///    scenario demands them.
+[[nodiscard]] std::vector<std::string> check_invariants(
+    const RecoveryReport& r, const InvariantInput& in);
+
+}  // namespace sanfault::chaos

@@ -1,0 +1,309 @@
+#include "chaos/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sanfault::chaos {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("scenario parse error, line " +
+                           std::to_string(line_no) + ": " + msg);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+/// "2ms" / "1500ns" / "3s" -> nanoseconds.
+sim::Duration parse_time(std::string_view tok, std::size_t line_no) {
+  std::size_t i = 0;
+  while (i < tok.size() && tok[i] >= '0' && tok[i] <= '9') ++i;
+  if (i == 0) fail(line_no, "expected a time like 2ms, got '" +
+                               std::string(tok) + "'");
+  const std::uint64_t v = std::strtoull(std::string(tok.substr(0, i)).c_str(),
+                                        nullptr, 10);
+  const std::string_view unit = tok.substr(i);
+  if (unit == "ns") return sim::nanoseconds(v);
+  if (unit == "us") return sim::microseconds(v);
+  if (unit == "ms") return sim::milliseconds(v);
+  if (unit == "s") return sim::seconds(v);
+  fail(line_no, "unknown time unit '" + std::string(unit) +
+                    "' (want ns/us/ms/s)");
+}
+
+std::string time_str(sim::Duration d) {
+  const char* unit = "ns";
+  std::uint64_t v = d;
+  if (v != 0) {
+    if (v % sim::seconds(1) == 0) {
+      v /= sim::seconds(1);
+      unit = "s";
+    } else if (v % sim::milliseconds(1) == 0) {
+      v /= sim::milliseconds(1);
+      unit = "ms";
+    } else if (v % sim::microseconds(1) == 0) {
+      v /= sim::microseconds(1);
+      unit = "us";
+    }
+  }
+  return std::to_string(v) + unit;
+}
+
+std::string num_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+ChaosOp parse_op(std::string_view tok, std::size_t line_no) {
+  if (tok == "link_down") return ChaosOp::kLinkDown;
+  if (tok == "link_up") return ChaosOp::kLinkUp;
+  if (tok == "flap") return ChaosOp::kFlap;
+  if (tok == "switch_down") return ChaosOp::kSwitchDown;
+  if (tok == "switch_up") return ChaosOp::kSwitchUp;
+  if (tok == "nic_reset") return ChaosOp::kNicReset;
+  if (tok == "error_ramp") return ChaosOp::kErrorRamp;
+  if (tok == "partition") return ChaosOp::kPartition;
+  if (tok == "heal") return ChaosOp::kHeal;
+  fail(line_no, "unknown op '" + std::string(tok) + "'");
+}
+
+struct KeyVal {
+  std::string_view key;
+  std::string_view val;
+};
+
+KeyVal parse_kv(std::string_view tok, std::size_t line_no) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string_view::npos || eq == 0 || eq + 1 == tok.size()) {
+    fail(line_no, "expected key=value, got '" + std::string(tok) + "'");
+  }
+  return KeyVal{tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+}  // namespace
+
+std::string_view chaos_op_name(ChaosOp op) {
+  switch (op) {
+    case ChaosOp::kLinkDown: return "link_down";
+    case ChaosOp::kLinkUp: return "link_up";
+    case ChaosOp::kFlap: return "flap";
+    case ChaosOp::kSwitchDown: return "switch_down";
+    case ChaosOp::kSwitchUp: return "switch_up";
+    case ChaosOp::kNicReset: return "nic_reset";
+    case ChaosOp::kErrorRamp: return "error_ramp";
+    case ChaosOp::kPartition: return "partition";
+    case ChaosOp::kHeal: return "heal";
+  }
+  return "?";
+}
+
+std::string ChaosEvent::to_string() const {
+  std::ostringstream os;
+  if (phase.empty()) {
+    os << "at " << time_str(at);
+  } else {
+    os << "phase " << phase;
+    if (at != 0) os << "+" << time_str(at);
+  }
+  os << " " << chaos_op_name(op);
+  switch (op) {
+    case ChaosOp::kLinkDown:
+    case ChaosOp::kLinkUp:
+      os << " link=" << target;
+      break;
+    case ChaosOp::kFlap:
+      os << " link=" << target << " count=" << count
+         << " period=" << time_str(period) << " duty=" << num_str(duty)
+         << " jitter=" << num_str(jitter);
+      break;
+    case ChaosOp::kSwitchDown:
+    case ChaosOp::kSwitchUp:
+      os << " switch=" << target;
+      break;
+    case ChaosOp::kNicReset:
+      os << " host=" << target;
+      break;
+    case ChaosOp::kErrorRamp:
+      os << " loss=" << num_str(loss) << " corrupt=" << num_str(corrupt)
+         << " steps=" << steps << " over=" << time_str(over);
+      if (target >= 0) os << " link=" << target;
+      break;
+    case ChaosOp::kPartition:
+    case ChaosOp::kHeal:
+      os << " hosts=";
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (i) os << ",";
+        os << hosts[i];
+      }
+      break;
+  }
+  return os.str();
+}
+
+Scenario Scenario::parse(std::string_view text) {
+  Scenario sc;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto toks = split_ws(line);
+    const std::string_view head = toks[0];
+    if (head == "scenario") {
+      if (toks.size() != 2) fail(line_no, "usage: scenario <name>");
+      sc.name = std::string(toks[1]);
+      continue;
+    }
+    if (head == "seed") {
+      if (toks.size() != 2) fail(line_no, "usage: seed <uint64>");
+      sc.seed = std::strtoull(std::string(toks[1]).c_str(), nullptr, 10);
+      continue;
+    }
+    if (head != "at" && head != "phase") {
+      fail(line_no, "expected at/phase/scenario/seed, got '" +
+                        std::string(head) + "'");
+    }
+    if (toks.size() < 3) fail(line_no, "truncated event line");
+
+    ChaosEvent ev;
+    if (head == "at") {
+      ev.at = parse_time(toks[1], line_no);
+    } else {
+      std::string_view ph = toks[1];
+      if (const std::size_t plus = ph.find('+'); plus != std::string_view::npos) {
+        ev.at = parse_time(ph.substr(plus + 1), line_no);
+        ph = ph.substr(0, plus);
+      }
+      if (ph.empty()) fail(line_no, "empty phase name");
+      ev.phase = std::string(ph);
+    }
+    ev.op = parse_op(toks[2], line_no);
+
+    bool saw_target = false;
+    for (std::size_t i = 3; i < toks.size(); ++i) {
+      const KeyVal kv = parse_kv(toks[i], line_no);
+      const std::string val(kv.val);
+      if (kv.key == "link" || kv.key == "switch" || kv.key == "host") {
+        ev.target = std::strtoll(val.c_str(), nullptr, 10);
+        saw_target = true;
+      } else if (kv.key == "hosts") {
+        std::size_t p = 0;
+        while (p < val.size()) {
+          std::size_t comma = val.find(',', p);
+          if (comma == std::string::npos) comma = val.size();
+          ev.hosts.push_back(static_cast<std::uint32_t>(
+              std::strtoul(val.substr(p, comma - p).c_str(), nullptr, 10)));
+          p = comma + 1;
+        }
+      } else if (kv.key == "count") {
+        ev.count = static_cast<std::uint32_t>(
+            std::strtoul(val.c_str(), nullptr, 10));
+      } else if (kv.key == "period") {
+        ev.period = parse_time(kv.val, line_no);
+      } else if (kv.key == "over") {
+        ev.over = parse_time(kv.val, line_no);
+      } else if (kv.key == "steps") {
+        ev.steps = static_cast<std::uint32_t>(
+            std::strtoul(val.c_str(), nullptr, 10));
+      } else if (kv.key == "duty") {
+        ev.duty = std::strtod(val.c_str(), nullptr);
+      } else if (kv.key == "jitter") {
+        ev.jitter = std::strtod(val.c_str(), nullptr);
+      } else if (kv.key == "loss") {
+        ev.loss = std::strtod(val.c_str(), nullptr);
+      } else if (kv.key == "corrupt") {
+        ev.corrupt = std::strtod(val.c_str(), nullptr);
+      } else {
+        fail(line_no, "unknown key '" + std::string(kv.key) + "'");
+      }
+    }
+
+    // Per-op requirements: catch malformed campaigns at load, not mid-run.
+    switch (ev.op) {
+      case ChaosOp::kLinkDown:
+      case ChaosOp::kLinkUp:
+      case ChaosOp::kSwitchDown:
+      case ChaosOp::kSwitchUp:
+      case ChaosOp::kNicReset:
+        if (!saw_target || ev.target < 0) {
+          fail(line_no, std::string(chaos_op_name(ev.op)) +
+                            " needs its target (link=/switch=/host=)");
+        }
+        break;
+      case ChaosOp::kFlap:
+        if (!saw_target || ev.target < 0) fail(line_no, "flap needs link=");
+        if (ev.count == 0 || ev.period == 0) {
+          fail(line_no, "flap needs count>=1 and period>0");
+        }
+        if (ev.duty <= 0.0 || ev.duty >= 1.0) {
+          fail(line_no, "flap duty must be in (0,1)");
+        }
+        if (ev.jitter < 0.0 || ev.jitter >= 1.0) {
+          fail(line_no, "flap jitter must be in [0,1)");
+        }
+        break;
+      case ChaosOp::kErrorRamp:
+        if (ev.steps == 0) fail(line_no, "error_ramp needs steps>=1");
+        if (ev.steps > 1 && ev.over == 0) {
+          fail(line_no, "error_ramp with steps>1 needs over=<duration>");
+        }
+        if (ev.loss < 0.0 || ev.loss > 1.0 || ev.corrupt < 0.0 ||
+            ev.corrupt > 1.0) {
+          fail(line_no, "error_ramp rates must be probabilities");
+        }
+        break;
+      case ChaosOp::kPartition:
+      case ChaosOp::kHeal:
+        if (ev.hosts.empty()) {
+          fail(line_no, std::string(chaos_op_name(ev.op)) + " needs hosts=");
+        }
+        break;
+    }
+    sc.events.push_back(std::move(ev));
+  }
+  return sc;
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  os << "scenario " << name << "\n";
+  os << "seed " << seed << "\n";
+  for (const ChaosEvent& ev : events) os << ev.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace sanfault::chaos

@@ -1,0 +1,88 @@
+// Declarative fault-campaign scenarios.
+//
+// A scenario is a timeline of fault events — link kills and repairs, flap
+// trains, switch death, NIC resets, error-rate ramps, host partitions and
+// heals — each fired either at an absolute simulated time or when the
+// workload reaches a named phase ("p25", "p50", "p75", "drained"; see
+// traffic::TrafficEngine::set_phase_hook), optionally plus an offset.
+//
+// Scenarios are written in a small line-oriented text form so campaigns can
+// live in config files, CI matrices and test literals (docs/CHAOS.md has the
+// full grammar):
+//
+//   scenario trunk-kill
+//   seed 7
+//   at 2ms error_ramp loss=0.001 corrupt=0.0002 steps=4 over=8ms
+//   phase p25 link_down link=0
+//   phase p50+3ms link_up link=0
+//   at 5ms flap link=1 count=6 period=2ms duty=0.5 jitter=0.25
+//   phase p25 partition hosts=1,5
+//   phase p50+2ms heal hosts=1,5
+//
+// parse() and to_string() round-trip: to_string() emits the canonical
+// spelling (sorted key order, normalized times), which is what determinism
+// tests byte-compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sanfault::chaos {
+
+enum class ChaosOp : std::uint8_t {
+  kLinkDown,    // permanent (until link_up) single-link failure
+  kLinkUp,
+  kFlap,        // down/up train on one link: count cycles of `period`
+  kSwitchDown,  // whole-crossbar death
+  kSwitchUp,
+  kNicReset,    // firmware restart on one host: route cache lost
+  kErrorRamp,   // ramp per-link loss/corrupt rates to a target in steps
+  kPartition,   // cut the listed hosts' access links
+  kHeal,        // restore the listed hosts' access links
+};
+
+[[nodiscard]] std::string_view chaos_op_name(ChaosOp op);
+
+/// One scheduled fault. Exactly one trigger applies: `phase` empty means
+/// absolute time `at`; otherwise the event fires `at` after the workload
+/// announces `phase`.
+struct ChaosEvent {
+  sim::Time at = 0;
+  std::string phase;
+  ChaosOp op = ChaosOp::kLinkDown;
+  /// Target element: link index (link ops / flap / error_ramp with link=),
+  /// switch index, or host index (nic_reset). -1 on error_ramp = all links.
+  std::int64_t target = -1;
+  std::vector<std::uint32_t> hosts;  // partition / heal groups
+  // Flap-train parameters.
+  std::uint32_t count = 0;
+  sim::Duration period = 0;
+  double duty = 0.5;    // fraction of each period spent down
+  double jitter = 0.0;  // +-fraction of period, drawn from the campaign RNG
+  // Error-ramp parameters.
+  double loss = 0.0;
+  double corrupt = 0.0;
+  std::uint32_t steps = 1;
+  sim::Duration over = 0;
+
+  [[nodiscard]] std::string to_string() const;  // canonical one-line form
+};
+
+struct Scenario {
+  std::string name = "unnamed";
+  std::uint64_t seed = 1;
+  std::vector<ChaosEvent> events;
+
+  /// Parse the text form. Throws std::runtime_error naming the offending
+  /// line on any syntax or range error.
+  static Scenario parse(std::string_view text);
+
+  /// Canonical text form; parse(to_string()) reproduces the scenario.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sanfault::chaos

@@ -32,6 +32,8 @@ struct TxChannel {
   /// empty to non-empty). Drives the transient/permanent failure threshold.
   sim::Time last_progress = 0;
   bool remap_in_flight = false;
+  /// When the in-flight remap was requested (remap-latency observability).
+  sim::Time remap_started = 0;
   bool unreachable = false;
 };
 

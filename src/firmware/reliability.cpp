@@ -31,6 +31,7 @@ void ReliableFirmware::register_metrics() {
   const std::string node = "{node=" + std::to_string(nic_.self().v) + "}";
   queue_depth_ = &obs_->histogram("firmware.retrans_queue_depth" + node,
                                   "packets");
+  remap_latency_ = &obs_->histogram("firmware.remap_latency_ns" + node, "ns");
   free_bufs_ = &obs_->gauge("firmware.send_buffers_free" + node, "buffers");
   // Counters mirror ReliabilityStats via a pull-collector: the protocol fast
   // path keeps its plain struct increments, the registry syncs before every
@@ -67,6 +68,7 @@ void ReliableFirmware::register_metrics() {
         .set(s.unreachable_drops);
     r.counter("firmware.no_route_drops" + node, "packets")
         .set(s.no_route_drops);
+    r.counter("firmware.nic_resets" + node, "resets").set(s.nic_resets);
     free_bufs_->set(static_cast<std::int64_t>(nic_.send_pool().free_count()));
   });
 }
@@ -471,6 +473,8 @@ void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
   ++stats_.path_failures;
   trace_ch(obs::TraceKind::kPathFail, h, 0, ch.generation,
            static_cast<std::uint32_t>(ch.retrans_queue.size()));
+  publish(FwEvent{FwEvent::Kind::kPathFail, nic_.self(), h, ch.generation,
+                  false, static_cast<std::uint32_t>(ch.retrans_queue.size())});
   routes_.invalidate(h);
   if (mapper_ == nullptr) {
     ch.unreachable = true;
@@ -483,8 +487,11 @@ void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
 void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
   if (ch.remap_in_flight) return;
   ch.remap_in_flight = true;
+  ch.remap_started = nic_.sched().now();
   ++stats_.remap_requests;
   trace_ch(obs::TraceKind::kRemapStart, h, 0, ch.generation);
+  publish(FwEvent{FwEvent::Kind::kRemapStart, nic_.self(), h, ch.generation,
+                  false, static_cast<std::uint32_t>(ch.retrans_queue.size())});
   mapper_->request_route(h, [this, h](std::optional<net::Route> route) {
     finish_remap(h, std::move(route));
   });
@@ -493,8 +500,12 @@ void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
 void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   TxChannel& ch = tx(h);
   ch.remap_in_flight = false;
+  remap_latency_->record(nic_.sched().now() - ch.remap_started);
   trace_ch(obs::TraceKind::kRemapDone, h, 0, ch.generation,
            route.has_value() ? 1 : 0);
+  publish(FwEvent{FwEvent::Kind::kRemapDone, nic_.self(), h, ch.generation,
+                  route.has_value(),
+                  static_cast<std::uint32_t>(ch.retrans_queue.size())});
   if (!route) {
     // "If no alternative route to a node exists, the node is labeled as
     // unreachable and any pending packets are dropped."
@@ -523,6 +534,8 @@ void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   ++stats_.generation_restarts;
   trace_ch(obs::TraceKind::kGenRestart, h, ch.next_seq, ch.generation,
            static_cast<std::uint32_t>(ch.retrans_queue.size()));
+  publish(FwEvent{FwEvent::Kind::kGenRestart, nic_.self(), h, ch.generation,
+                  true, static_cast<std::uint32_t>(ch.retrans_queue.size())});
 
   // Resume: send every pending packet in order on the fresh route.
   {
@@ -547,6 +560,21 @@ void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   if (rxch.ack_owed) {
     rxch.ack_owed = false;
     send_explicit_ack(h);
+  }
+}
+
+void ReliableFirmware::nic_reset() {
+  ++stats_.nic_resets;
+  routes_.clear();
+  publish(FwEvent{FwEvent::Kind::kNicReset, nic_.self(), nic_.self(), 0, false,
+                  0});
+  if (mapper_ == nullptr) return;
+  for (auto& [h, ch] : tx_) {
+    if (ch.retrans_queue.empty() || ch.unreachable) continue;
+    // Channels with work in flight rediscover their path immediately; the
+    // resulting generation restart renumbers and resends the queue, so the
+    // reset is invisible to the layers above (modulo latency).
+    begin_remap(h, ch);
   }
 }
 

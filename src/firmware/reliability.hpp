@@ -88,6 +88,28 @@ struct ReliabilityStats {
   std::uint64_t generation_restarts = 0; // successful remaps (new seq space)
   std::uint64_t unreachable_drops = 0;   // packets discarded, no path
   std::uint64_t no_route_drops = 0;      // no route and no mapper attached
+  std::uint64_t nic_resets = 0;          // chaos-injected firmware restarts
+};
+
+/// A protocol-level recovery transition, published synchronously to an
+/// optional observer (ReliableFirmware::set_event_hook). The chaos layer's
+/// RecoveryMonitor consumes these to measure remap convergence and to prove
+/// sequence generations never regress; the packet-lifecycle trace ring
+/// records the same transitions for offline debugging.
+struct FwEvent {
+  enum class Kind : std::uint8_t {
+    kPathFail,    // path declared permanently failed
+    kRemapStart,  // on-demand mapping requested
+    kRemapDone,   // mapping finished (ok = route found)
+    kGenRestart,  // sequence space restarted under generation `gen`
+    kNicReset,    // firmware restarted; route cache lost
+  };
+  Kind kind;
+  net::HostId self;  // the NIC observing the transition
+  net::HostId peer;  // the remote node of the affected channel
+  std::uint16_t gen = 0;
+  bool ok = false;         // kRemapDone only
+  std::uint32_t pending = 0;  // queued packets affected, where meaningful
 };
 
 class ReliableFirmware final : public nic::FirmwareIface {
@@ -100,6 +122,19 @@ class ReliableFirmware final : public nic::FirmwareIface {
   [[nodiscard]] const ReliabilityConfig& config() const { return cfg_; }
 
   void set_mapper(MapperIface* mapper) { mapper_ = mapper; }
+
+  /// Observe recovery transitions (path failure, remap, generation restart).
+  /// One hook per firmware; called synchronously at the transition instant.
+  using EventHook = std::function<void(const FwEvent&)>;
+  void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
+
+  /// Chaos primitive: model a firmware/NIC reset that loses the volatile
+  /// route cache. Every known route is dropped and each channel with pending
+  /// traffic immediately re-enters on-demand mapping (generation restart on
+  /// success), so in-flight work survives the reset via the §4.2 machinery.
+  /// Without a mapper the routes simply vanish; later sends are no-route
+  /// drops, as a statically-mapped network would behave.
+  void nic_reset();
 
   /// Introspection for tests: sender/receiver channel state toward `h`.
   [[nodiscard]] const TxChannel* tx_channel(net::HostId h) const;
@@ -162,6 +197,7 @@ class ReliableFirmware final : public nic::FirmwareIface {
   AckPolicy policy_;
   RouteTable routes_;
   MapperIface* mapper_ = nullptr;
+  EventHook event_hook_;
   // std::map: the timer scan iterates these; ordered maps keep the scan
   // order (and thus every simulation) deterministic.
   std::map<net::HostId, TxChannel> tx_;
@@ -175,7 +211,12 @@ class ReliableFirmware final : public nic::FirmwareIface {
   obs::Registry* obs_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
   obs::Histogram* queue_depth_ = nullptr;  // retrans-queue depth at enqueue
+  obs::Histogram* remap_latency_ = nullptr;  // request_route -> answer, ns
   obs::Gauge* free_bufs_ = nullptr;        // send-buffer feedback signal
+
+  void publish(const FwEvent& ev) {
+    if (event_hook_) event_hook_(ev);
+  }
 };
 
 }  // namespace sanfault::firmware

@@ -29,6 +29,9 @@ class RouteTable {
 
   void invalidate(net::HostId dst) { routes_.erase(dst); }
 
+  /// Drop every route (a NIC reset loses the volatile route cache).
+  void clear() { routes_.clear(); }
+
   [[nodiscard]] bool contains(net::HostId dst) const {
     return routes_.contains(dst);
   }

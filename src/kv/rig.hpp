@@ -87,6 +87,26 @@ class KvRig {
     return true;
   }
 
+  /// Every host's reliable firmware, in host order. Chaos campaigns use
+  /// this to bind NIC resets and recovery-event hooks per node.
+  [[nodiscard]] std::vector<firmware::ReliableFirmware*> rel_view() {
+    std::vector<firmware::ReliableFirmware*> v;
+    for (std::size_t i = 0; i < c.size(); ++i) v.push_back(&c.rel(i));
+    return v;
+  }
+
+  /// Let in-flight replication and retransmission settle: run `settle`, then
+  /// keep granting 50 ms slices until every server is idle (bounded by
+  /// `max_rounds`), then one final `settle`.
+  void quiesce(sim::Duration settle = sim::milliseconds(100),
+               int max_rounds = 64) {
+    c.sched.run_for(settle);
+    for (int i = 0; i < max_rounds && !servers_idle(); ++i) {
+      c.sched.run_for(sim::milliseconds(50));
+    }
+    c.sched.run_for(settle);
+  }
+
   KvRigConfig cfg_;
   harness::Cluster c;
   std::unique_ptr<ShardMap> map;

@@ -33,6 +33,7 @@ Fabric::Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg)
         .set(s.dropped_path_reset);
     reg.counter("fabric.dropped_unattached", "packets")
         .set(s.dropped_unattached);
+    reg.counter("fabric.fault_transitions", "events").set(fault_transitions_);
     // Per-link utilization: the FifoServer's exact busy-time accounting,
     // exported per direction so trunk asymmetries are visible.
     for (std::size_t l = 0; l < link_srv_.size(); ++l) {
@@ -52,6 +53,68 @@ Fabric::Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg)
 
 Fabric::~Fabric() {
   if (auto* r = obs::Registry::find(sched_)) r->remove_collectors(this);
+}
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kSwitchDown: return "switch_down";
+    case FaultKind::kSwitchUp: return "switch_up";
+    case FaultKind::kHostCut: return "host_cut";
+    case FaultKind::kHostHeal: return "host_heal";
+    case FaultKind::kFaultRates: return "fault_rates";
+  }
+  return "?";
+}
+
+void Fabric::notify_fault(const FaultEvent& ev) {
+  ++fault_transitions_;
+  if (fault_hook_) fault_hook_(ev);
+}
+
+void Fabric::fail_link(LinkId l) {
+  topo_->set_link_up(l, false);
+  notify_fault(FaultEvent{FaultKind::kLinkDown, l.v});
+}
+
+void Fabric::restore_link(LinkId l) {
+  topo_->set_link_up(l, true);
+  notify_fault(FaultEvent{FaultKind::kLinkUp, l.v});
+}
+
+void Fabric::fail_switch(SwitchId s) {
+  topo_->set_switch_up(s, false);
+  notify_fault(FaultEvent{FaultKind::kSwitchDown, s.v});
+}
+
+void Fabric::restore_switch(SwitchId s) {
+  topo_->set_switch_up(s, true);
+  notify_fault(FaultEvent{FaultKind::kSwitchUp, s.v});
+}
+
+void Fabric::cut_host(HostId h) {
+  if (auto l = topo_->host_access_link(h)) topo_->set_link_up(*l, false);
+  notify_fault(FaultEvent{FaultKind::kHostCut, h.v});
+}
+
+void Fabric::heal_host(HostId h) {
+  if (auto l = topo_->host_access_link(h)) topo_->set_link_up(*l, true);
+  notify_fault(FaultEvent{FaultKind::kHostHeal, h.v});
+}
+
+void Fabric::set_link_fault_rates(std::optional<LinkId> l, double loss,
+                                  double corrupt) {
+  ensure_link_state();
+  const std::uint32_t first = l ? l->v : 0;
+  const std::uint32_t last =
+      l ? l->v + 1 : static_cast<std::uint32_t>(link_faults_.size());
+  for (std::uint32_t i = first; i < last; ++i) {
+    link_faults_[i].loss_prob = loss;
+    link_faults_[i].corrupt_prob = corrupt;
+  }
+  notify_fault(
+      FaultEvent{FaultKind::kFaultRates, l ? l->v : kAllLinks, loss, corrupt});
 }
 
 void Fabric::ensure_link_state() {

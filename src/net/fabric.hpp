@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -79,6 +81,31 @@ struct LinkFaults {
   bool blocked = false;  // wormhole-blocked (e.g. deadlocked path)
 };
 
+/// A fault-state transition applied through the fabric's fault API below.
+/// The chaos campaign engine (src/chaos) drives these; observers (recovery
+/// monitors, tests) subscribe via Fabric::set_fault_hook.
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kSwitchDown,
+  kSwitchUp,
+  kHostCut,    // host's access link downed (network partition of that host)
+  kHostHeal,
+  kFaultRates, // per-link loss/corrupt probabilities changed
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k);
+
+/// FaultEvent::id value meaning "every link" for kFaultRates.
+inline constexpr std::uint32_t kAllLinks = 0xffffffffu;
+
+struct FaultEvent {
+  FaultKind kind;
+  std::uint32_t id = 0;    // link / switch / host index, per kind
+  double loss = 0.0;       // kFaultRates only
+  double corrupt = 0.0;    // kFaultRates only
+};
+
 class Fabric {
  public:
   using RxHandler = std::function<void(Packet&&)>;
@@ -113,6 +140,32 @@ class Fabric {
 
   LinkFaults& link_faults(LinkId l) { return link_faults_[l.v]; }
 
+  // --- fault surface -------------------------------------------------------
+  // Coordinated fault-state mutations: each applies the change to the
+  // topology (or the per-link fault knobs) and notifies the fault hook, so
+  // every observer sees the same transition at the same simulated instant.
+  // Packets already in flight are unaffected until they next touch the
+  // failed element — exactly how a dying cable behaves.
+  void set_fault_hook(std::function<void(const FaultEvent&)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+  void fail_link(LinkId l);
+  void restore_link(LinkId l);
+  /// A dead switch drops every packet that reaches it (all its routes die).
+  void fail_switch(SwitchId s);
+  void restore_switch(SwitchId s);
+  /// Partition a host: down its single access link. heal_host reverses it.
+  void cut_host(HostId h);
+  void heal_host(HostId h);
+  /// Set transient loss/corruption rates on one link, or on every link when
+  /// `l` is nullopt (the error-rate-ramp primitive).
+  void set_link_fault_rates(std::optional<LinkId> l, double loss,
+                            double corrupt);
+  /// Fault transitions applied through this API (not per-packet faults).
+  [[nodiscard]] std::uint64_t fault_transitions() const {
+    return fault_transitions_;
+  }
+
   /// Occupancy server for one direction of a link (exposed for tests and
   /// utilization reporting). dir 0: a->b, dir 1: b->a.
   [[nodiscard]] const sim::FifoServer& link_server(LinkId l, int dir) const {
@@ -127,6 +180,7 @@ class Fabric {
   };
 
   void ensure_link_state();
+  void notify_fault(const FaultEvent& ev);
   void step(Packet pkt, Device at, std::size_t route_idx);
   void drop(const Packet& pkt, DropReason reason);
   void deliver(Packet&& pkt, HostId dst);
@@ -144,6 +198,8 @@ class Fabric {
   FabricStats stats_;
   DropHook drop_hook_;
   DeliveryHook delivery_hook_;
+  std::function<void(const FaultEvent&)> fault_hook_;
+  std::uint64_t fault_transitions_ = 0;
   obs::TraceRing* trace_ = nullptr;  // packet-lifecycle hop/drop events
   std::uint64_t next_wire_id_ = 1;
   /// Set by step() on the injection hop (hosts do not forward, so the first

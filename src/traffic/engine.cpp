@@ -100,6 +100,17 @@ sim::Process TrafficEngine::generate() {
           static_cast<std::uint32_t>(value.size())});
     }
     run_op(client, id, op, key, std::move(value));
+
+    // Quartile phase announcements, each exactly once, in issue order.
+    const std::uint64_t issued = i + 1;
+    const std::uint64_t total = cfg_.total_requests;
+    if (issued == (total + 3) / 4) {
+      announce_phase("p25");
+    } else if (issued == (total + 1) / 2) {
+      announce_phase("p50");
+    } else if (issued == (total * 3 + 3) / 4) {
+      announce_phase("p75");
+    }
   }
 }
 
@@ -133,6 +144,10 @@ sim::Process TrafficEngine::run_op(std::uint64_t client, kv::RequestId id,
   } else {
     ++stats_.failed;
     ++w.failed;
+  }
+  if (done() && !drained_announced_) {
+    drained_announced_ = true;
+    announce_phase("drained");
   }
 }
 

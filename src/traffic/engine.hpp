@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "kv/audit.hpp"
@@ -116,6 +118,13 @@ class TrafficEngine {
     return stats_.completed == cfg_.total_requests;
   }
 
+  /// Workload phase announcements: "p25"/"p50"/"p75" as the generator
+  /// crosses 25/50/75% of total_requests issued, and "drained" when the
+  /// last request completes. Each phase fires exactly once; the chaos
+  /// campaign engine (src/chaos) anchors phase-triggered fault events here.
+  using PhaseHook = std::function<void(std::string_view)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   [[nodiscard]] const kv::ShadowMap& shadow() const { return shadow_; }
   [[nodiscard]] const TrafficConfig& config() const { return cfg_; }
@@ -125,6 +134,9 @@ class TrafficEngine {
   sim::Process run_op(std::uint64_t client, kv::RequestId id, kv::Op op,
                       std::uint64_t key, std::vector<std::uint8_t> value);
   WindowCounters& window_at(sim::Time t);
+  void announce_phase(std::string_view phase) {
+    if (phase_hook_) phase_hook_(phase);
+  }
 
   sim::Scheduler& sched_;
   std::vector<kv::KvClientHost*> hosts_;
@@ -134,6 +146,8 @@ class TrafficEngine {
   std::vector<std::uint64_t> next_seq_;  // per logical client
   TrafficStats stats_;
   kv::ShadowMap shadow_;
+  PhaseHook phase_hook_;
+  bool drained_announced_ = false;
   obs::Histogram* req_latency_ = nullptr;  // successful requests only
 };
 
