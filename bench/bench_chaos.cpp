@@ -50,6 +50,8 @@ struct CellSpec {
   std::size_t hosts;
   bool require_redelivery;
   bool require_remap;
+  /// Fabric under test; the scale cells run on the 64-host k=8 fat-tree.
+  harness::TopoKind topo = harness::TopoKind::kFigure2;
 };
 
 struct CellResult {
@@ -95,6 +97,16 @@ std::string scenario_text(const std::string& name, std::size_t n) {
            "phase p25 partition hosts=1\n"
            "phase p25+18ms heal hosts=1\n";
   }
+  if (name == "spine-death") {
+    // Clos-only: switch 0 is a core (the builder creates the spine first),
+    // so this kills one spine crossbar for 18 ms — longer than the 10 ms
+    // permanent-failure threshold, forcing cross-pod pairs routed through it
+    // to remap onto one of the redundant spines.
+    return header +
+           "seed 17\n"
+           "phase p25 switch_down switch=0\n"
+           "phase p25+18ms switch_up switch=0\n";
+  }
   if (name == "error-ramp") {
     return header +
            "seed 15\n"
@@ -120,7 +132,7 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   kv::KvRigConfig rc;
   rc.num_servers = spec.hosts / 2;
   rc.num_client_hosts = spec.hosts - rc.num_servers;
-  rc.cluster.topo = harness::TopoKind::kFigure2;
+  rc.cluster.topo = spec.topo;
   rc.cluster.fw = harness::FirmwareKind::kReliable;
   rc.cluster.mapper = harness::MapperKind::kOnDemand;
   rc.cluster.nic.send_buffers = 64;
@@ -128,6 +140,20 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   // hours-long jobs); scenario timings above are calibrated against this.
   rc.cluster.rel.fail_threshold = sim::milliseconds(10);
   rc.cluster.rel.fail_min_rounds = 8;
+  if (spec.topo == harness::TopoKind::kClos) {
+    // Scale-out remaps must converge inside the KV replication retry budget
+    // (~seconds). A cross-pod BFS on the 80-switch fat-tree costs ~20k+
+    // probes with the default Table-3 methodology — mostly duplicate
+    // detection, each a timeout — so these cells run the mapper in its
+    // configured-deployment mode: fabric database resolves duplicate
+    // verdicts (no dup probes), deterministic multipath spreads remapped
+    // pairs over the redundant spines, and the probe timeout is sized to the
+    // Clos RTT (~6 us) instead of the conservative default.
+    rc.cluster.ondemand.configured_identity = true;
+    rc.cluster.ondemand.multipath = true;
+    rc.cluster.ondemand.max_probes = std::size_t{1} << 17;
+    rc.cluster.ondemand.probe_timeout = sim::microseconds(30);
+  }
   kv::KvRig rig(rc);
 
   chaos::RecoveryMonitor monitor(rig.c.sched);
@@ -275,6 +301,7 @@ bool write_log(const char* path, const std::vector<CellResult>& rows) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool scale = false;
   unsigned jobs = 1;
   const char* json_path = nullptr;
   const char* metrics_path = nullptr;
@@ -282,6 +309,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
@@ -290,19 +319,29 @@ int main(int argc, char** argv) {
       log_path = argv[++i];
     } else if (!bench::parse_jobs_flag(i, argc, argv, jobs)) {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--json <file>] "
+                   "usage: %s [--quick] [--scale] [--json <file>] "
                    "[--metrics-json <file>] [--log <file>] [--jobs <N>]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  const std::uint64_t total_requests = quick ? 1500 : 6000;
-  const double rate_rps = quick ? 50000 : 100000;
-  const std::size_t num_clients = quick ? 64 : 250;
+  const std::uint64_t total_requests = (quick || scale) ? 1500 : 6000;
+  const double rate_rps = (quick || scale) ? 50000 : 100000;
+  const std::size_t num_clients = (quick || scale) ? 64 : 250;
+
+  // The 64-host k=8 fat-tree cells: kill one spine crossbar, and partition a
+  // server, at scale. Both outlive the permanent-failure threshold, so clean
+  // invariants here certify remap + redelivery on the large fabric.
+  const std::vector<CellSpec> scale_specs = {
+      {"spine-death", 64, true, true, harness::TopoKind::kClos},
+      {"partition-heal", 64, true, true, harness::TopoKind::kClos},
+  };
 
   // Quick: one cell per scenario class across all three fabric sizes (the
-  // CI smoke + determinism gate). Full: every scenario on every size.
+  // CI smoke + determinism gate). Scale: just the 64-host Clos cells, at
+  // quick workload intensity. Full: every scenario on every Figure-2 size,
+  // plus the scale cells.
   std::vector<CellSpec> specs;
   if (quick) {
     specs = {
@@ -312,6 +351,8 @@ int main(int argc, char** argv) {
         {"error-ramp", 4, false, false},
         {"compound", 16, true, false},
     };
+  } else if (scale) {
+    specs = scale_specs;
   } else {
     for (const std::size_t n : {std::size_t{4}, std::size_t{8},
                                 std::size_t{16}}) {
@@ -322,6 +363,7 @@ int main(int argc, char** argv) {
       specs.push_back({"error-ramp", n, false, false});
       specs.push_back({"compound", n, true, false});
     }
+    specs.insert(specs.end(), scale_specs.begin(), scale_specs.end());
   }
 
   std::printf(

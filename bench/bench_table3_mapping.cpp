@@ -52,6 +52,7 @@ Row measure(std::size_t target) {
 
   done = false;
   c.rel(4).routes().invalidate(c.hosts[target]);
+  c.mapper(4).invalidate_path(c.hosts[target]);  // measure a real re-probe
   c.mapper(4).request_route(c.hosts[target],
                             [&](std::optional<net::Route>) { done = true; });
   while (!done && c.sched.step()) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Summarize gcov-format line coverage for a --coverage build tree.
+
+Dependency-free stand-in for gcovr (which the CI coverage job installs but
+thin local toolchains may lack): walks a build directory for .gcda files,
+asks `gcov --json-format` for per-source line data, and prints a per-file
+and total line-coverage table for first-party sources (src/ by default).
+
+Usage:
+  coverage_summary.py [build_dir] [--root DIR] [--filter PREFIX]
+                      [--gcov GCOV] [--output FILE]
+
+  build_dir   tree to scan for .gcda (default: build_cov)
+  --root      repo root that source paths are resolved against (default: .)
+  --filter    only report sources whose repo-relative path starts with this
+              prefix (repeatable; default: src/)
+  --gcov      gcov executable (default: $GCOV or 'gcov'; use
+              'llvm-cov gcov' for clang-compiled trees)
+  --output    also write the table to FILE (for CI artifacts / step summary)
+
+Coverage is advisory: exit status is 0 whenever the data could be read, 1
+only when no .gcda files exist (nothing was run) or gcov fails.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    out = []
+    for dirpath, _, files in os.walk(build_dir):
+        out.extend(os.path.join(dirpath, f) for f in files
+                   if f.endswith(".gcda"))
+    return sorted(out)
+
+
+def run_gcov(gcov_cmd, gcda_files, workdir):
+    """Run gcov in json mode; returns paths of the .gcov.json.gz it wrote."""
+    cmd = gcov_cmd.split() + ["--json-format", "--branch-probabilities"]
+    # Batch to keep command lines bounded.
+    for i in range(0, len(gcda_files), 64):
+        batch = [os.path.abspath(p) for p in gcda_files[i:i + 64]]
+        res = subprocess.run(cmd + batch, cwd=workdir,
+                             capture_output=True, text=True)
+        if res.returncode != 0:
+            sys.stderr.write(res.stderr)
+            raise RuntimeError(f"gcov failed (exit {res.returncode})")
+    return [os.path.join(workdir, f) for f in os.listdir(workdir)
+            if f.endswith(".gcov.json.gz")]
+
+
+def accumulate(json_paths, root, filters):
+    """-> {relpath: (covered_lines, instrumented_lines)} merged over TUs."""
+    per_file = {}
+    root = os.path.realpath(root)
+    for jp in json_paths:
+        with gzip.open(jp, "rt") as f:
+            doc = json.load(f)
+        for fentry in doc.get("files", []):
+            src = fentry.get("file", "")
+            abs_src = src if os.path.isabs(src) else os.path.join(root, src)
+            rel = os.path.relpath(os.path.realpath(abs_src), root)
+            if filters and not any(rel.startswith(p) for p in filters):
+                continue
+            # Merge by line number: a line is covered if any TU executed it
+            # (headers are compiled into many translation units).
+            lines = per_file.setdefault(rel, {})
+            for line in fentry.get("lines", []):
+                n = line["line_number"]
+                lines[n] = lines.get(n, 0) + line.get("count", 0)
+    return {
+        rel: (sum(1 for c in lines.values() if c > 0), len(lines))
+        for rel, lines in per_file.items()
+    }
+
+
+def render(stats):
+    rows = []
+    tot_cov = tot_lines = 0
+    for rel in sorted(stats):
+        cov, n = stats[rel]
+        tot_cov += cov
+        tot_lines += n
+        pct = 100.0 * cov / n if n else 0.0
+        rows.append(f"{pct:6.1f}%  {cov:>6}/{n:<6}  {rel}")
+    pct = 100.0 * tot_cov / tot_lines if tot_lines else 0.0
+    header = f"{'cover':>7}  {'lines':>13}  file"
+    total = f"{pct:6.1f}%  {tot_cov:>6}/{tot_lines:<6}  TOTAL"
+    return "\n".join([header] + rows + ["-" * len(total), total]) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Per-file gcov line-coverage summary (gcovr stand-in).")
+    ap.add_argument("build_dir", nargs="?", default="build_cov")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--filter", action="append", default=None)
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    ap.add_argument("--output")
+    args = ap.parse_args()
+    filters = args.filter if args.filter is not None else ["src/"]
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"coverage_summary: no .gcda files under {args.build_dir} — "
+              "build with -DSANFAULT_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            json_paths = run_gcov(args.gcov, gcda, tmp)
+        except (RuntimeError, OSError) as e:
+            print(f"coverage_summary: {e}", file=sys.stderr)
+            return 1
+        stats = accumulate(json_paths, args.root, filters)
+
+    table = render(stats)
+    sys.stdout.write(table)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,8 @@ Usage:
                   [--abs-slack 100] [--verbose]
 
 Exit status: 0 = no regressions, 1 = regressions found, 2 = usage/shape
-error (e.g. cells don't match).
+error — cells don't match, a counter lacks its "value" key, or the golden
+predates a classified counter the candidate reports (regen the golden).
 """
 
 import argparse
@@ -49,6 +50,8 @@ COST_PREFIXES = (
     "firmware.remap_requests",
     "mapper.mappings_failed",
     "mapper.probe_timeouts",
+    "mapper.probe_budget_exhausted",
+    "mapper.path_cache_evictions",   # growth = cache thrash on this sweep
     "nic.crc_failures",
     "nic.injection_stalls",
     "fabric.dropped_",          # all fabric drop classes
@@ -85,12 +88,17 @@ GOODPUT_PREFIXES = (
     "traffic.completed",
     "vmmc.deposits_rx",
     "mapper.mappings_succeeded",
+    "mapper.path_cache_hits",        # shrink = cache stopped serving routes
     # Chaos recovery: fewer observed recoveries for the same campaign means
     # the protocol stopped demonstrating them.
     "chaos.data_deliveries",
     "chaos.remap_convergences",
     "chaos.ttfr_samples",
 )
+
+
+class ShapeError(Exception):
+    """Input-shape problem: reported by name, exits 2 (not a regression)."""
 
 
 def schema_name(instance_name):
@@ -111,6 +119,10 @@ def load_cells(path):
         for name, m in metrics.items():
             if m.get("type") != "counter":
                 continue
+            if "value" not in m:
+                raise ShapeError(
+                    f"{path}: counter '{name}' has no 'value' key — "
+                    "truncated or hand-edited metrics dump?")
             agg[schema_name(name)] = agg.get(schema_name(name), 0) + m["value"]
         cells.append((json.dumps(entry.get("cell", {}), sort_keys=True), agg))
     return cells
@@ -161,11 +173,35 @@ def main():
                     help="also print changed informational counters")
     args = ap.parse_args()
 
-    golden = load_cells(args.golden)
-    candidate = load_cells(args.candidate)
+    try:
+        golden = load_cells(args.golden)
+        candidate = load_cells(args.candidate)
+    except ShapeError as e:
+        print(f"metrics_diff: {e}", file=sys.stderr)
+        return 2
     if [k for k, _ in golden] != [k for k, _ in candidate]:
         print("metrics_diff: cell layouts differ between the two files; "
               "re-generate the golden with the same sweep flags",
+              file=sys.stderr)
+        return 2
+
+    # A cost/goodput-classified counter in the candidate that the golden has
+    # never seen means the golden predates the counter: comparing it against
+    # an implicit 0 would either always pass (goodput) or fail with a
+    # misleading "cost grew" message. Name the keys and demand a regen.
+    stale = sorted({
+        name
+        for (_, g), (_, c) in zip(golden, candidate)
+        for name in c
+        if name not in g and direction(name) != "info"
+    })
+    if stale:
+        print("metrics_diff: golden file lacks classified counter(s) the "
+              "candidate reports:", file=sys.stderr)
+        for name in stale:
+            print(f"  {name}", file=sys.stderr)
+        print(f"re-generate {args.golden} with the current binary "
+              "(see scripts/verify.sh for the per-golden command)",
               file=sys.stderr)
         return 2
 

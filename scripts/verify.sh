@@ -13,18 +13,26 @@
 #                  how to re-baseline it).
 #   --sanitize     additionally build with -DSANFAULT_SANITIZE=address,undefined
 #                  in build_asan/ and run the test suite under the sanitizers.
+#   --coverage     additionally build with -DSANFAULT_COVERAGE=ON in
+#                  build_cov/, run the test suite there, and print an
+#                  advisory per-file line-coverage summary (gcovr when
+#                  installed, scripts/coverage_summary.py otherwise) to
+#                  stdout and build_cov/coverage_summary.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
 PERF_SMOKE=0
 SANITIZE=0
+COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
     --perf-smoke) PERF_SMOKE=1 ;;
     --sanitize) SANITIZE=1 ;;
-    *) echo "usage: $0 [--quick] [--perf-smoke] [--sanitize]" >&2; exit 2 ;;
+    --coverage) COVERAGE=1 ;;
+    *) echo "usage: $0 [--quick] [--perf-smoke] [--sanitize] [--coverage]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -86,6 +94,24 @@ if [[ "$SANITIZE" == 1 ]]; then
   # the file's header); any other leak still fails.
   LSAN_OPTIONS="suppressions=$PWD/scripts/lsan.supp" \
       ctest --test-dir build_asan --output-on-failure -j"$(nproc)"
+fi
+
+if [[ "$COVERAGE" == 1 ]]; then
+  echo "--- coverage build: -DSANFAULT_COVERAGE=ON (advisory)"
+  cmake -B build_cov -S . -DSANFAULT_COVERAGE=ON
+  cmake --build build_cov -j"$(nproc)"
+  # Stale .gcda from a previous run would double-count; drop them first.
+  find build_cov -name '*.gcda' -delete
+  ctest --test-dir build_cov --output-on-failure -j"$(nproc)"
+  if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root . --filter 'src/' build_cov \
+        | tee build_cov/coverage_summary.txt
+  else
+    python3 scripts/coverage_summary.py build_cov --root . \
+        --output build_cov/coverage_summary.txt
+  fi
+  echo "coverage summary written to build_cov/coverage_summary.txt (advisory:"
+  echo "low numbers do not fail the gate; tests failing under coverage do)"
 fi
 
 cat <<'EOF'

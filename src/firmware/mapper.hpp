@@ -26,6 +26,15 @@ class MapperIface {
 
   /// Probe-type packets received from the wire are handed here.
   virtual void on_probe_packet(net::Packet pkt) = 0;
+
+  /// The reliability protocol declared the path to `dst` permanently failed.
+  /// Mappers that cache discovered routes must invalidate that entry before
+  /// the request_route that follows, or they would re-serve the dead path.
+  virtual void on_path_failure(net::HostId /*dst*/) {}
+
+  /// The NIC firmware restarted (chaos nic_reset): volatile discovery state
+  /// (caches, attach-port knowledge) is gone.
+  virtual void on_nic_reset() {}
 };
 
 }  // namespace sanfault::firmware

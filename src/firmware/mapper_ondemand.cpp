@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "sim/rng.hpp"
 
 namespace sanfault::firmware {
 
@@ -20,10 +21,56 @@ struct ProbeResult {
   HostId replier;
 };
 
+/// Alternates recorded per known switch are capped: candidate sets past this
+/// add no measurable path diversity but do add per-mapping memory.
+constexpr std::size_t kMaxAltForwards = 8;
+
 }  // namespace
 
+// --- PathCache (LRU) --------------------------------------------------------
+
+const Route* OnDemandMapper::PathCache::get(HostId h) {
+  auto it = idx_.find(h);
+  if (it == idx_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  return &it->second->second;
+}
+
+void OnDemandMapper::PathCache::put(HostId h, Route r,
+                                    std::uint64_t* evictions) {
+  if (cap_ == 0) return;
+  auto it = idx_.find(h);
+  if (it != idx_.end()) {
+    it->second->second = std::move(r);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= cap_) {
+    idx_.erase(lru_.back().first);
+    lru_.pop_back();
+    if (evictions != nullptr) ++*evictions;
+  }
+  lru_.emplace_front(h, std::move(r));
+  idx_[h] = lru_.begin();
+}
+
+bool OnDemandMapper::PathCache::erase(HostId h) {
+  auto it = idx_.find(h);
+  if (it == idx_.end()) return false;
+  lru_.erase(it->second);
+  idx_.erase(it);
+  return true;
+}
+
+void OnDemandMapper::PathCache::clear() {
+  lru_.clear();
+  idx_.clear();
+}
+
+// --- OnDemandMapper ---------------------------------------------------------
+
 OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)
-    : nic_(nic), cfg_(cfg) {
+    : nic_(nic), cfg_(cfg), path_cache_(cfg.path_cache_capacity) {
   // Mirror OnDemandMapperStats into the per-simulation metrics registry
   // (pull model — see docs/OBSERVABILITY.md).
   obs::Registry& reg = obs::Registry::of(nic_.sched());
@@ -48,6 +95,16 @@ OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)
         .set(s.probe_timeouts);
     reg.counter("mapper.mapping_time_total_ns" + node, "ns")
         .set(static_cast<std::uint64_t>(s.mapping_time_total));
+    reg.counter("mapper.path_cache_hits" + node, "hits")
+        .set(s.path_cache_hits);
+    reg.counter("mapper.path_cache_evictions" + node, "evictions")
+        .set(s.path_cache_evictions);
+    reg.counter("mapper.path_cache_invalidations" + node, "invalidations")
+        .set(s.path_cache_invalidations);
+    reg.counter("mapper.probe_budget_exhausted" + node, "mappings")
+        .set(s.probe_budget_exhausted);
+    reg.counter("mapper.multipath_candidates" + node, "routes")
+        .set(s.multipath_candidates);
   });
 }
 
@@ -65,9 +122,13 @@ std::uint8_t OnDemandMapper::radix_of(const Route& forward) const {
   return cfg_.max_ports;
 }
 
+void OnDemandMapper::invalidate_path(HostId dst) {
+  if (path_cache_.erase(dst)) ++stats_.path_cache_invalidations;
+}
+
 void OnDemandMapper::flush_cache() {
   attach_port_.reset();
-  host_cache_.clear();
+  path_cache_.clear();
 }
 
 void OnDemandMapper::request_route(HostId dst, RouteCallback cb) {
@@ -187,10 +248,25 @@ sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
                                                     std::uint64_t* probes_used) {
   auto over_budget = [&] { return *probes_used >= cfg_.max_probes; };
   auto count_probe = [&] { ++*probes_used; };
+  // Budget exhaustion aborts the whole mapping; one stat bump per mapping.
+  auto budget_fail = [&]() -> std::optional<Route> {
+    ++stats_.probe_budget_exhausted;
+    return std::nullopt;
+  };
+  // Hosts found in passing are cached only when configured to; the requested
+  // destination is cached (and the cache consulted) whenever capacity > 0.
+  const bool caching = cfg_.cache_discovered_hosts &&
+                       cfg_.path_cache_capacity > 0;
 
-  if (cfg_.cache_discovered_hosts) {
-    auto it = host_cache_.find(dst);
-    if (it != host_cache_.end()) co_return it->second;
+  if (cfg_.path_cache_capacity > 0) {
+    // A destination whose path failed was invalidated (on_path_failure)
+    // before this request, so a surviving entry is trustworthy.
+    const Route* cached = path_cache_.get(dst);
+    if (cached != nullptr) {
+      ++stats_.path_cache_hits;
+      Route hit = *cached;
+      co_return hit;
+    }
   }
 
   // --- level -1: what hangs off our own cable? -----------------------------
@@ -204,14 +280,16 @@ sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
     Route empty_route;
     if (co_await probe_and_wait_impl(PacketType::kProbeHost, empty_route,
                                      &replier)) {
-      if (cfg_.cache_discovered_hosts) host_cache_[replier] = Route{};
+      if (caching) {
+        path_cache_.put(replier, Route{}, &stats_.path_cache_evictions);
+      }
       if (replier == dst) co_return Route{};
       co_return std::nullopt;  // point-to-point cable; nothing else out there
     }
     // Otherwise find which port of the first crossbar we hang off: bounce
     // probes until one comes straight back.
     for (std::uint8_t y = 0; y < cfg_.max_ports; ++y) {
-      if (over_budget()) co_return std::nullopt;
+      if (over_budget()) co_return budget_fail();
       count_probe();
       Route bounce;
       bounce.ports.push_back(y);
@@ -225,41 +303,87 @@ sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
   }
 
   // --- BFS over crossbars, level by level ----------------------------------
-  std::vector<KnownSwitch> frontier{KnownSwitch{
-      Route{}, {*attach_port_}, *attach_port_, radix_of(Route{})}};
-  // Every switch discovered so far (crossbars have no identity; `known` is
-  // what the duplicate-detection probes compare against).
-  std::vector<KnownSwitch> known = frontier;
+  // `known` is every switch discovered so far (crossbars have no identity;
+  // it is what the duplicate-detection probes compare against). The frontier
+  // is a set of indices into it — phase (b) grows `known`, so loop bodies
+  // copy the fields they need instead of holding references across awaits.
+  std::vector<KnownSwitch> known;
+  {
+    KnownSwitch root;
+    root.forward = Route{};
+    root.reverse = {*attach_port_};
+    root.entry_port = *attach_port_;
+    root.radix = radix_of(Route{});
+    known.push_back(std::move(root));
+  }
+  std::vector<std::size_t> frontier{0};
 
   for (std::size_t depth = 0; depth < cfg_.max_depth && !frontier.empty();
        ++depth) {
     // (a) Host-probe every unexplored port of every frontier switch. The
-    // search stops the moment the destination answers, which is what makes
-    // same-switch mappings host-probe-only (Table 3, row 1).
+    // search stops the moment the destination answers — which is what makes
+    // same-switch mappings host-probe-only (Table 3, row 1) — unless
+    // multipath is on, in which case the rest of this level is probed too so
+    // the equal-cost candidate set is complete before selection.
     struct SilentPort {
-      std::size_t sw;
+      std::size_t sw;  // index into `known`
       std::uint8_t port;
     };
     std::vector<SilentPort> silent;
-    for (std::size_t s = 0; s < frontier.size(); ++s) {
-      const KnownSwitch& sw = frontier[s];
-      for (std::uint8_t p = 0; p < sw.radix; ++p) {
-        if (p == sw.entry_port) continue;
-        if (over_budget()) co_return std::nullopt;
-        Route hr = sw.forward;
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t found_sw = kNone;
+    std::uint8_t found_port = 0;
+    for (const std::size_t fi : frontier) {
+      const Route f_forward = known[fi].forward;
+      const std::uint8_t f_entry = known[fi].entry_port;
+      const std::uint8_t f_radix = known[fi].radix;
+      for (std::uint8_t p = 0; p < f_radix; ++p) {
+        if (p == f_entry) continue;
+        if (over_budget()) co_return budget_fail();
+        Route hr = f_forward;
         hr.ports.push_back(p);
         HostId replier;
         count_probe();
-        if (co_await probe_and_wait_impl(PacketType::kProbeHost, hr, &replier)) {
-          if (cfg_.cache_discovered_hosts &&
-              !host_cache_.contains(replier)) {
-            host_cache_[replier] = hr;
+        if (co_await probe_and_wait_impl(PacketType::kProbeHost, hr,
+                                         &replier)) {
+          if (caching && !path_cache_.contains(replier)) {
+            path_cache_.put(replier, hr, &stats_.path_cache_evictions);
           }
-          if (replier == dst) co_return hr;
+          if (replier == dst) {
+            if (!cfg_.multipath) co_return hr;
+            if (found_sw == kNone) {
+              found_sw = fi;
+              found_port = p;
+            }
+          }
         } else {
-          silent.push_back({s, p});
+          silent.push_back({fi, p});
         }
       }
+    }
+    if (found_sw != kNone) {
+      // Deterministic multipath: the destination's edge crossbar was reached
+      // through one shortest path per discovery order, but every equal-length
+      // alternative recorded by duplicate detection (alt_forwards) exits the
+      // same crossbar through the same port. Pick among them with an Rng
+      // keyed only on (salt, self, dst): independent of probe interleaving,
+      // so parallel sweeps stay byte-identical for any --jobs N.
+      std::vector<Route> candidates;
+      Route primary = known[found_sw].forward;
+      primary.ports.push_back(found_port);
+      candidates.push_back(std::move(primary));
+      for (const Route& alt : known[found_sw].alt_forwards) {
+        Route r2 = alt;
+        r2.ports.push_back(found_port);
+        candidates.push_back(std::move(r2));
+      }
+      stats_.multipath_candidates += candidates.size();
+      sim::Rng pick(cfg_.multipath_salt ^
+                    (0x9E3779B97F4A7C15ull * (nic_.self().v + 1)) ^
+                    (0xC2B2AE3D27D4EB4Full * (dst.v + 1)));
+      const std::size_t sel = pick.uniform(candidates.size());
+      Route chosen = candidates[sel];
+      co_return chosen;
     }
 
     // (b) Identify what sits behind each silent port.
@@ -268,37 +392,81 @@ sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
     // ones", Table 3): if an already-known crossbar K is behind the port,
     // then routing through the port and down K's known way home brings the
     // probe back — one probe per comparison, no radix-sized guessing, and
-    // redundant links / back-edges stop spawning re-exploration.
+    // redundant links / back-edges stop spawning re-exploration. When the
+    // duplicate sits at the same BFS depth, the rejected path is an
+    // equal-cost alternative into K — multipath remembers it.
     //
     // Only genuinely new crossbars then pay the bounce-guessing of their
     // entry port (up to max_ports tries).
-    std::vector<KnownSwitch> next;
+    std::vector<std::size_t> next;
     for (const SilentPort& sp : silent) {
-      const KnownSwitch& sw = frontier[sp.sw];
+      const Route sw_forward = known[sp.sw].forward;
+      const std::vector<std::uint8_t> sw_reverse = known[sp.sw].reverse;
+      Route nf = sw_forward;
+      nf.ports.push_back(sp.port);
+      // Identity verdict source: behavioral by default (the cycle probe
+      // returning means "an old switch is behind this port"). On regular
+      // fabrics that test false-merges *distinct* switches at symmetric
+      // positions — a probe into a fat-tree edge routed down a sibling
+      // edge's way home still loops back to the prober — which silently
+      // prunes whole pods from the search. When the operator configured the
+      // fabric class (radix_oracle, same knowledge assumption as the radix
+      // lookup), the verdict is resolved against the real topology instead.
+      // The probe is sent and counted either way: configured identity does
+      // not waive Table 3's "distinguishing new switches from old ones"
+      // traffic.
+      std::optional<net::Device> cand_dev;
+      if (cfg_.radix_oracle != nullptr) {
+        cand_dev = cfg_.radix_oracle->device_after(nic_.self(), nf);
+      }
+      const bool identity_db =
+          cfg_.configured_identity && cfg_.radix_oracle != nullptr;
       bool duplicate = false;
-      for (const KnownSwitch& k : known) {
-        if (over_budget()) co_return std::nullopt;
-        Route vr = sw.forward;
-        vr.ports.push_back(sp.port);
-        vr.ports.insert(vr.ports.end(), k.reverse.begin(), k.reverse.end());
-        count_probe();
-        if (co_await probe_and_wait_impl(PacketType::kProbeSwitch, vr,
-                                         nullptr)) {
+      for (std::size_t j = 0; j < known.size(); ++j) {
+        if (over_budget()) co_return budget_fail();
+        std::optional<net::Device> known_dev;
+        if (cfg_.radix_oracle != nullptr) {
+          known_dev =
+              cfg_.radix_oracle->device_after(nic_.self(), known[j].forward);
+        }
+        bool probe_back = false;
+        if (!identity_db) {
+          Route vr = nf;
+          vr.ports.insert(vr.ports.end(), known[j].reverse.begin(),
+                          known[j].reverse.end());
+          count_probe();
+          probe_back = co_await probe_and_wait_impl(PacketType::kProbeSwitch,
+                                                    vr, nullptr);
+        }
+        const bool is_dup =
+            cfg_.radix_oracle != nullptr
+                ? (cand_dev.has_value() && cand_dev->is_switch() &&
+                   known_dev.has_value() && *cand_dev == *known_dev)
+                : probe_back;
+        if (is_dup) {
           duplicate = true;
+          if (cfg_.multipath) {
+            Route alt = nf;
+            KnownSwitch& dup = known[j];
+            if (alt.ports.size() == dup.forward.ports.size() &&
+                alt != dup.forward &&
+                dup.alt_forwards.size() < kMaxAltForwards &&
+                std::find(dup.alt_forwards.begin(), dup.alt_forwards.end(),
+                          alt) == dup.alt_forwards.end()) {
+              dup.alt_forwards.push_back(std::move(alt));
+            }
+          }
           break;
         }
       }
       if (duplicate) continue;
-
-      Route nf = sw.forward;
-      nf.ports.push_back(sp.port);
       const std::uint8_t guess_bound = radix_of(nf);
       for (std::uint8_t y = 0; y < guess_bound; ++y) {
-        if (over_budget()) co_return std::nullopt;
-        Route br = sw.forward;
+        if (over_budget()) co_return budget_fail();
+        Route br = sw_forward;
         br.ports.push_back(sp.port);
         br.ports.push_back(y);
-        br.ports.insert(br.ports.end(), sw.reverse.begin(), sw.reverse.end());
+        br.ports.insert(br.ports.end(), sw_reverse.begin(), sw_reverse.end());
         count_probe();
         if (co_await probe_and_wait_impl(PacketType::kProbeSwitch, br,
                                          nullptr)) {
@@ -307,10 +475,10 @@ sim::Task<std::optional<Route>> OnDemandMapper::bfs(HostId dst,
           ns.entry_port = y;
           ns.radix = guess_bound;
           ns.reverse.push_back(y);
-          ns.reverse.insert(ns.reverse.end(), sw.reverse.begin(),
-                            sw.reverse.end());
-          known.push_back(ns);
-          next.push_back(std::move(ns));
+          ns.reverse.insert(ns.reverse.end(), sw_reverse.begin(),
+                            sw_reverse.end());
+          known.push_back(std::move(ns));
+          next.push_back(known.size() - 1);
           break;
         }
       }
@@ -326,9 +494,6 @@ sim::Process OnDemandMapper::drive() {
     PendingRequest req = std::move(queue_.front());
     queue_.pop_front();
     ++stats_.mappings_started;
-
-    // A request means any previously known route to dst is dead.
-    host_cache_.erase(req.dst);
 
     const sim::Time t0 = sched.now();
     const std::uint64_t h0 = stats_.host_probes_tx;
@@ -353,7 +518,11 @@ sim::Process OnDemandMapper::drive() {
     stats_.last_switch_probes = stats_.switch_probes_tx - s0;
     if (result) {
       ++stats_.mappings_succeeded;
-      if (cfg_.cache_discovered_hosts) host_cache_[req.dst] = *result;
+      // The requested destination is always cached (capacity permitting);
+      // cache_discovered_hosts only governs hosts found in passing.
+      if (cfg_.path_cache_capacity > 0) {
+        path_cache_.put(req.dst, *result, &stats_.path_cache_evictions);
+      }
     } else {
       ++stats_.mappings_failed;
     }

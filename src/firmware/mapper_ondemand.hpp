@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "firmware/mapper.hpp"
@@ -54,12 +56,36 @@ struct OnDemandMapperConfig {
   /// re-discoverable through parallel paths — switches have no identity — so
   /// the search must be bounded to terminate on cyclic topologies.
   std::size_t max_depth = 6;
-  /// Hard cap on probes per mapping (runaway guard on unreachable targets).
+  /// Hard cap on probes per mapping (runaway guard on unreachable targets;
+  /// exhausting it fails the mapping and bumps probe_budget_exhausted).
   std::size_t max_probes = 4096;
-  /// Remember hosts discovered during previous mappings. A re-request for a
-  /// host always re-probes (its cached route just failed), but other hosts
-  /// found along the way stay cached.
+  /// Also cache hosts discovered *in passing* while mapping some other
+  /// destination (the requested destination is always cached while
+  /// path_cache_capacity > 0). Entries live in an LRU path cache; the
+  /// reliability layer invalidates a destination's entry on path failure
+  /// (MapperIface::on_path_failure), so later requests for an unaffected
+  /// destination are served without probing.
   bool cache_discovered_hosts = true;
+  /// Capacity of the per-destination path cache (0 disables caching; large
+  /// fabrics at default capacity never evict — evictions show up in
+  /// mapper.path_cache_evictions when they do).
+  std::size_t path_cache_capacity = 1024;
+  /// Deterministic multipath: instead of returning the first shortest route
+  /// the BFS finds, finish probing the destination's BFS level, collect the
+  /// equal-cost routes, and pick one with an Rng seeded from
+  /// (multipath_salt, self, dst) — stable across runs and across --jobs
+  /// orderings. Off by default (Table 3's probe counts assume first-answer
+  /// termination).
+  bool multipath = false;
+  std::uint64_t multipath_salt = 0x5ca1ab1e;
+  /// Operator-configured fabric database: resolve duplicate-detection
+  /// verdicts from the radix_oracle *without* emitting the comparison probes.
+  /// Dup probes dominate BFS traffic on large fabrics (§4.2's
+  /// "distinguishing new switches from old ones" grows with the number of
+  /// known switches), so configured deployments shortcut them. Off by
+  /// default: Table 3's methodology counts that traffic. Requires
+  /// radix_oracle; ignored without it.
+  bool configured_identity = false;
 };
 
 struct OnDemandMapperStats {
@@ -77,6 +103,14 @@ struct OnDemandMapperStats {
   sim::Duration last_mapping_time = 0;
   std::uint64_t last_host_probes = 0;
   std::uint64_t last_switch_probes = 0;
+  /// Path-cache behavior (docs/OBSERVABILITY.md `mapper.*` scale metrics).
+  std::uint64_t path_cache_hits = 0;
+  std::uint64_t path_cache_evictions = 0;
+  std::uint64_t path_cache_invalidations = 0;
+  /// Mappings aborted because max_probes ran out.
+  std::uint64_t probe_budget_exhausted = 0;
+  /// Equal-cost candidate routes considered by multipath selection (summed).
+  std::uint64_t multipath_candidates = 0;
 };
 
 class OnDemandMapper final : public MapperIface {
@@ -87,8 +121,14 @@ class OnDemandMapper final : public MapperIface {
   // --- MapperIface ---------------------------------------------------------
   void request_route(net::HostId dst, RouteCallback cb) override;
   void on_probe_packet(net::Packet pkt) override;
+  void on_path_failure(net::HostId dst) override { invalidate_path(dst); }
+  void on_nic_reset() override { flush_cache(); }
 
   [[nodiscard]] const OnDemandMapperStats& stats() const { return stats_; }
+
+  /// Drop the cached route to one destination (its path just failed); the
+  /// next request for it re-probes while other cached paths stay warm.
+  void invalidate_path(net::HostId dst);
 
   /// Drop all cached discovery state (e.g. the operator knows the fabric
   /// changed wholesale).
@@ -101,6 +141,29 @@ class OnDemandMapper final : public MapperIface {
     std::vector<std::uint8_t> reverse;   // bytes from the switch back to us
     std::uint8_t entry_port = 0;         // port we enter it through
     std::uint8_t radix = 16;             // ports to probe on it
+    /// Equal-length alternative forwards (multipath only; capped).
+    std::vector<net::Route> alt_forwards;
+  };
+
+  /// LRU map destination -> discovered route. Deterministic: ordering is the
+  /// explicit recency list, never unordered_map iteration.
+  class PathCache {
+   public:
+    explicit PathCache(std::size_t cap) : cap_(cap) {}
+    /// Touches the entry (most-recently-used) and returns it, or nullptr.
+    const net::Route* get(net::HostId h);
+    void put(net::HostId h, net::Route r, std::uint64_t* evictions);
+    bool erase(net::HostId h);
+    [[nodiscard]] bool contains(net::HostId h) const {
+      return idx_.contains(h);
+    }
+    void clear();
+
+   private:
+    using Entry = std::pair<net::HostId, net::Route>;
+    std::size_t cap_;
+    std::list<Entry> lru_;  // front = most recently used
+    std::unordered_map<net::HostId, std::list<Entry>::iterator> idx_;
   };
 
   /// Radix of the crossbar at the end of `forward` (oracle or max_ports).
@@ -150,8 +213,8 @@ class OnDemandMapper final : public MapperIface {
   /// Cached: port of our first-hop switch we attach to (rediscovered when a
   /// mapping that relied on it fails at level 0).
   std::optional<std::uint8_t> attach_port_;
-  /// Hosts discovered during any mapping: host -> route.
-  std::unordered_map<net::HostId, net::Route> host_cache_;
+  /// Hosts discovered during any mapping (LRU; see path_cache_capacity).
+  PathCache path_cache_;
 };
 
 }  // namespace sanfault::firmware

@@ -481,6 +481,9 @@ void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
     drop_pending(h, ch);
     return;
   }
+  // The mapper's cached path to h is the one that just failed; drop it so
+  // the remap below re-probes instead of re-serving the dead route.
+  mapper_->on_path_failure(h);
   begin_remap(h, ch);
 }
 
@@ -569,6 +572,9 @@ void ReliableFirmware::nic_reset() {
   publish(FwEvent{FwEvent::Kind::kNicReset, nic_.self(), nic_.self(), 0, false,
                   0});
   if (mapper_ == nullptr) return;
+  // A firmware restart loses the mapper's volatile SRAM state too (path
+  // cache, attach-port knowledge) — everything below rediscovers cold.
+  mapper_->on_nic_reset();
   for (auto& [h, ch] : tx_) {
     if (ch.retrans_queue.empty() || ch.unreachable) continue;
     // Channels with work in flight rediscover their path immediately; the

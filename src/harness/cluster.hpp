@@ -32,6 +32,7 @@ enum class FirmwareKind {
 enum class TopoKind {
   kSingleSwitch,  // all hosts on one crossbar (micro-benchmark setup)
   kFigure2,       // the paper's 4-switch redundant tree (mapping setup)
+  kClos,          // k-ary fat-tree scale-out fabric (64/128-host experiments)
 };
 
 enum class MapperKind {
@@ -50,6 +51,9 @@ struct ClusterConfig {
   MapperKind mapper = MapperKind::kNone;
   firmware::OnDemandMapperConfig ondemand;
   firmware::FullMapperConfig full;
+  /// TopoKind::kClos shape; its num_hosts is overridden by `num_hosts` above
+  /// so every topology kind is sized by the same knob.
+  net::ClosConfig clos;
   /// Preload full shortest routes into every route table (the static-map
   /// baseline). Disable to start with empty tables for on-demand mapping.
   bool preload_routes = true;
@@ -142,7 +146,8 @@ class Cluster {
   sim::Scheduler sched;
   net::Topology topo;
   std::vector<net::HostId> hosts;
-  /// Populated for TopoKind::kFigure2 only.
+  /// Populated for kFigure2 and kClos (creation order; kClos puts the spine
+  /// switches first — see net::ClosFabric).
   std::vector<net::SwitchId> switches;
 
  private:
@@ -156,6 +161,24 @@ class Cluster {
         topo.connect({net::Device::host(h), 0},
                      {net::Device::sw(sw), static_cast<std::uint8_t>(i)});
         hosts.push_back(h);
+      }
+    } else if (cfg_.topo == TopoKind::kClos) {
+      auto clos = cfg_.clos;
+      clos.num_hosts = cfg_.num_hosts;
+      auto f = net::make_clos_fabric(clos);
+      topo = std::move(f.topo);
+      hosts = std::move(f.hosts);
+      // Creation order (switches[i].v == i): cores, then per pod the aggs
+      // followed by the edges.
+      switches = std::move(f.cores);
+      const std::size_t m = f.cfg.k / 2;
+      for (std::size_t pod = 0; pod < f.cfg.k; ++pod) {
+        for (std::size_t j = 0; j < m; ++j) {
+          switches.push_back(f.aggs[pod * m + j]);
+        }
+        for (std::size_t e = 0; e < m; ++e) {
+          switches.push_back(f.edges[pod * m + e]);
+        }
       }
     } else {
       auto f = net::make_figure2_fabric(cfg_.num_hosts);

@@ -22,6 +22,10 @@ Fabric::Fabric(sim::Scheduler& sched, Topology& topo, FabricConfig cfg)
         .set(s.delivered_corrupt);
     reg.counter("fabric.corruptions_injected", "packets")
         .set(s.corruptions_injected);
+    reg.counter("fabric.duplicates_injected", "packets")
+        .set(s.duplicates_injected);
+    reg.counter("fabric.reorders_injected", "packets")
+        .set(s.reorders_injected);
     reg.counter("fabric.dropped_link_down", "packets")
         .set(s.dropped_link_down);
     reg.counter("fabric.dropped_switch_dead", "packets")
@@ -238,44 +242,69 @@ void Fabric::step(Packet pkt, Device at, std::size_t route_idx) {
     ++stats_.corruptions_injected;
   }
 
+  // Duplication / reordering injection (property-test fault knobs). Guarded
+  // on the probabilities so zero-prob links draw nothing — existing seeded
+  // runs stay byte-identical.
+  int copies = 1;
+  if (lf.dup_prob > 0.0 && rng_.bernoulli(lf.dup_prob)) {
+    copies = 2;
+    ++stats_.duplicates_injected;
+  }
+  sim::Duration reorder_extra = 0;
+  if (lf.reorder_prob > 0.0 && rng_.bernoulli(lf.reorder_prob)) {
+    reorder_extra = lf.reorder_delay;
+    ++stats_.reorders_injected;
+  }
+
   const LinkModel& model = topo_->link_model(l);
   auto [end_a, end_b] = topo_->link_ends(l);
   sim::FifoServer& srv = (end_a == out) ? link_srv_[l.v].ab : link_srv_[l.v].ba;
-
-  const sim::Duration ser = ser_time(pkt, l);
-  const sim::Time completion = srv.submit(ser);  // tail leaves this link
-  const sim::Time start = completion - ser;      // head entered the link
-  if (at.is_host()) last_departure_ = completion;  // send-DMA finish time
   const Device peer = att->peer.dev;
 
-  if (peer.is_host()) {
-    // Tail arrival: last byte propagates `latency` after leaving the link.
-    const sim::Time tail_arrival = sim::time_add(completion, model.latency);
-    sched_.at(tail_arrival, [this, pkt = std::move(pkt), peer, route_idx]() mutable {
-      if (route_idx != pkt.hdr.route.ports.size()) {
-        drop(pkt, DropReason::kMisroute);
-      } else {
-        deliver(std::move(pkt), peer.as_host());
-      }
-    });
-  } else {
-    // Head arrival at the next crossbar, plus its fall-through delay. Record
-    // the port the packet enters through (see Packet::in_ports). The
-    // enabled() guard keeps the per-hop cost of disabled tracing to one
-    // predictable branch — this is the hottest emit site in the simulator.
-    if (trace_->enabled()) {
-      trace_->emit(obs::TraceEvent{
-          sched_.now(), pkt.hdr.src.v, pkt.hdr.dst.v, pkt.hdr.seq,
-          att->peer.port, pkt.hdr.generation,
-          static_cast<std::uint16_t>(peer.as_switch().v),
-          obs::TraceKind::kHopTraverse});
+  for (int ci = 0; ci < copies; ++ci) {
+    // The duplicate occupies the link for its own serialization slot and
+    // then traverses independently (re-drawing downstream faults).
+    Packet p = (ci + 1 < copies) ? pkt : std::move(pkt);
+    const sim::Duration ser = ser_time(p, l);
+    const sim::Time completion = srv.submit(ser);  // tail leaves this link
+    const sim::Time start = completion - ser;      // head entered the link
+    if (at.is_host() && ci == 0) {
+      last_departure_ = completion;  // send-DMA finish time
     }
-    pkt.in_ports.push_back(att->peer.port);
-    const sim::Time head_arrival =
-        sim::time_add(sim::time_add(start, model.latency), cfg_.switch_delay);
-    sched_.at(head_arrival, [this, pkt = std::move(pkt), peer, route_idx]() mutable {
-      step(std::move(pkt), peer, route_idx);
-    });
+
+    if (peer.is_host()) {
+      // Tail arrival: last byte propagates `latency` after leaving the link.
+      const sim::Time tail_arrival =
+          sim::time_add(sim::time_add(completion, model.latency),
+                        reorder_extra);
+      sched_.at(tail_arrival, [this, pkt = std::move(p), peer, route_idx]() mutable {
+        if (route_idx != pkt.hdr.route.ports.size()) {
+          drop(pkt, DropReason::kMisroute);
+        } else {
+          deliver(std::move(pkt), peer.as_host());
+        }
+      });
+    } else {
+      // Head arrival at the next crossbar, plus its fall-through delay. Record
+      // the port the packet enters through (see Packet::in_ports). The
+      // enabled() guard keeps the per-hop cost of disabled tracing to one
+      // predictable branch — this is the hottest emit site in the simulator.
+      if (trace_->enabled()) {
+        trace_->emit(obs::TraceEvent{
+            sched_.now(), p.hdr.src.v, p.hdr.dst.v, p.hdr.seq,
+            att->peer.port, p.hdr.generation,
+            static_cast<std::uint16_t>(peer.as_switch().v),
+            obs::TraceKind::kHopTraverse});
+      }
+      p.in_ports.push_back(att->peer.port);
+      const sim::Time head_arrival =
+          sim::time_add(sim::time_add(sim::time_add(start, model.latency),
+                                      cfg_.switch_delay),
+                        reorder_extra);
+      sched_.at(head_arrival, [this, pkt = std::move(p), peer, route_idx]() mutable {
+        step(std::move(pkt), peer, route_idx);
+      });
+    }
   }
 }
 

@@ -60,6 +60,8 @@ struct FabricStats {
   std::uint64_t delivered = 0;
   std::uint64_t delivered_corrupt = 0;  // delivered but failing CRC
   std::uint64_t corruptions_injected = 0;  // link fault flipped payload bits
+  std::uint64_t duplicates_injected = 0;   // link fault cloned a traversal
+  std::uint64_t reorders_injected = 0;     // link fault delayed a traversal
   std::uint64_t dropped_link_down = 0;
   std::uint64_t dropped_switch_dead = 0;
   std::uint64_t dropped_misroute = 0;
@@ -74,10 +76,19 @@ struct FabricStats {
 };
 
 /// Transient fault knobs, per link. Probabilities are evaluated once per
-/// packet per link traversal.
+/// packet per link traversal — and only when nonzero, so enabling a knob on
+/// one link never perturbs the RNG sequence other links observe.
 struct LinkFaults {
   double corrupt_prob = 0.0;
   double loss_prob = 0.0;
+  /// Duplication: a second identical copy follows the first down this link
+  /// and the two traverse the rest of the fabric independently (models
+  /// retry-capable link layers re-sending an already-delivered frame).
+  double dup_prob = 0.0;
+  /// Reordering: this traversal's arrival is delayed by reorder_delay, so
+  /// packets serialized behind it overtake it.
+  double reorder_prob = 0.0;
+  sim::Duration reorder_delay = sim::microseconds(10);
   bool blocked = false;  // wormhole-blocked (e.g. deadlocked path)
 };
 

@@ -221,4 +221,73 @@ Figure2Fabric make_figure2_fabric(std::size_t num_hosts) {
   return f;
 }
 
+ClosFabric make_clos_fabric(ClosConfig cfg) {
+  if (cfg.k < 2 || cfg.k % 2 != 0) {
+    throw std::invalid_argument("make_clos_fabric: k must be even and >= 2");
+  }
+  const std::size_t m = cfg.k / 2;  // edges/aggs per pod, down-ports per agg
+  if (cfg.core_group_size == 0) cfg.core_group_size = m;
+  if (cfg.core_group_size > m) {
+    throw std::invalid_argument("make_clos_fabric: core_group_size > k/2");
+  }
+  const std::size_t g = cfg.core_group_size;
+  const std::size_t num_edges = cfg.k * m;
+  if (cfg.num_hosts == 0) cfg.num_hosts = num_edges * m;  // full: k^3/4
+  // Hosts round-robin over edges; the busiest edge carries the ceiling.
+  const std::size_t hosts_per_edge =
+      (cfg.num_hosts + num_edges - 1) / num_edges;
+  if (cfg.k > 250 || m + hosts_per_edge > 250) {
+    throw std::invalid_argument("make_clos_fabric: crossbar radix overflow");
+  }
+
+  ClosFabric f;
+  f.cfg = cfg;
+  // Spine first: SwitchId 0 must be a core so chaos scenarios that say
+  // "switch_down switch=0" kill a spine, and UP*/DOWN* roots at the top.
+  for (std::size_t c = 0; c < m * g; ++c) {
+    f.cores.push_back(f.topo.add_switch(static_cast<std::uint8_t>(cfg.k)));
+  }
+  for (std::size_t pod = 0; pod < cfg.k; ++pod) {
+    for (std::size_t j = 0; j < m; ++j) {
+      f.aggs.push_back(f.topo.add_switch(static_cast<std::uint8_t>(m + g)));
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      f.edges.push_back(
+          f.topo.add_switch(static_cast<std::uint8_t>(m + hosts_per_edge)));
+    }
+  }
+
+  auto wire = [&](SwitchId x, std::size_t px, SwitchId y, std::size_t py) {
+    f.topo.connect(Port{Device::sw(x), static_cast<std::uint8_t>(px)},
+                   Port{Device::sw(y), static_cast<std::uint8_t>(py)},
+                   cfg.link);
+  };
+  for (std::size_t pod = 0; pod < cfg.k; ++pod) {
+    // Edge e port j <-> agg j port e: a full bipartite mesh inside the pod.
+    for (std::size_t e = 0; e < m; ++e) {
+      for (std::size_t j = 0; j < m; ++j) {
+        wire(f.edges[pod * m + e], j, f.aggs[pod * m + j], e);
+      }
+    }
+    // Agg j uplinks to its core group; core c's port `pod` serves this pod.
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t t = 0; t < g; ++t) {
+        wire(f.aggs[pod * m + j], m + t, f.cores[j * g + t], pod);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < cfg.num_hosts; ++i) {
+    const HostId h = f.topo.add_host();
+    const std::size_t e = i % num_edges;
+    const std::size_t slot = i / num_edges;
+    f.topo.connect(Port{Device::host(h), 0},
+                   Port{Device::sw(f.edges[e]),
+                        static_cast<std::uint8_t>(m + slot)},
+                   cfg.link);
+    f.hosts.push_back(h);
+  }
+  return f;
+}
+
 }  // namespace sanfault::net

@@ -131,4 +131,37 @@ struct Figure2Fabric {
 };
 Figure2Fabric make_figure2_fabric(std::size_t num_hosts);
 
+/// k-ary folded-Clos (fat-tree) fabric: k pods of k/2 edge + k/2 aggregation
+/// crossbars, with a configurable-size spine layer on top. This is the
+/// scale-out fabric the 64/128-host experiments run on — path distances are
+/// 1 switch (same edge), 3 (same pod), 5 (cross-pod), and every cross-pod
+/// pair has `core_group_size` equal-cost paths per aggregation choice.
+struct ClosConfig {
+  /// Pod radix; must be even and >= 2. k = 8 yields the canonical 128-host
+  /// fat-tree (32 edge + 32 agg + 16 core switches at full redundancy).
+  std::size_t k = 8;
+  /// Hosts to attach, round-robin across the edge switches (consecutive
+  /// host ids land in different pods). 0 = fully populate (k^3 / 4).
+  std::size_t num_hosts = 0;
+  /// Spine redundancy: cores each aggregation switch uplinks to. Every agg
+  /// at pod position j connects to its own group of this many cores, so the
+  /// spine has k/2 * core_group_size switches. 0 = k/2 (full fat-tree).
+  std::size_t core_group_size = 0;
+  LinkModel link = {};
+};
+
+/// Switch creation order: all cores first (so SwitchId 0 is a spine switch —
+/// chaos scenarios address switches by raw index), then per pod the k/2
+/// aggs followed by the k/2 edges. Edge ports [0, k/2) are uplinks; hosts
+/// sit on ports k/2 and up.
+struct ClosFabric {
+  Topology topo;
+  std::vector<HostId> hosts;
+  std::vector<SwitchId> cores;
+  std::vector<SwitchId> aggs;   // pod-major: aggs[pod * k/2 + j]
+  std::vector<SwitchId> edges;  // pod-major: edges[pod * k/2 + e]
+  ClosConfig cfg;               // normalized (num_hosts/core_group_size set)
+};
+ClosFabric make_clos_fabric(ClosConfig cfg = {});
+
 }  // namespace sanfault::net

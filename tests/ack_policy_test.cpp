@@ -1,0 +1,102 @@
+// Unit tests for the sender-based ACK-frequency policy (§4.1.2, third
+// optimization), pinned at the free-buffer boundaries: {0, 1, threshold-1,
+// threshold, max} for both watermarks, plus the degenerate capacities where
+// the derived intervals collapse to 1.
+#include <gtest/gtest.h>
+
+#include "firmware/ack_policy.hpp"
+
+namespace sanfault::firmware {
+namespace {
+
+// Default config, capacity 16: low watermark 0.25 => free < 4 is "scarce"
+// (interval 1), high watermark 0.75 => free < 12 is "moderate" (interval
+// 16/8 = 2), free >= 12 is "plentiful" (interval 16/2 = 8).
+constexpr std::size_t kCap = 16;
+
+TEST(AckPolicy, ScarceBuffersRequestOnEveryPacket) {
+  AckPolicy p;
+  for (std::size_t free : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    EXPECT_TRUE(p.should_request(free, kCap, 0)) << "free=" << free;
+  }
+}
+
+TEST(AckPolicy, LowWatermarkBoundaryFlipsToModerateInterval) {
+  AckPolicy p;
+  // free = 3 (threshold - 1): frac 0.1875 < 0.25 => every packet.
+  EXPECT_TRUE(p.should_request(3, kCap, 0));
+  // free = 4 (threshold): frac 0.25 is NOT below the watermark => interval 2.
+  EXPECT_FALSE(p.should_request(4, kCap, 0));
+  EXPECT_TRUE(p.should_request(4, kCap, 1));
+}
+
+TEST(AckPolicy, HighWatermarkBoundaryFlipsToPlentifulInterval) {
+  AckPolicy p;
+  // free = 11 (threshold - 1): frac 0.6875 < 0.75 => interval q/8 = 2.
+  EXPECT_FALSE(p.should_request(11, kCap, 0));
+  EXPECT_TRUE(p.should_request(11, kCap, 1));
+  // free = 12 (threshold): frac 0.75 => interval q/2 = 8.
+  for (std::uint32_t since = 0; since < 7; ++since) {
+    EXPECT_FALSE(p.should_request(12, kCap, since)) << "since=" << since;
+  }
+  EXPECT_TRUE(p.should_request(12, kCap, 7));
+}
+
+TEST(AckPolicy, MaxFreeBuffersUseTheLongestInterval) {
+  AckPolicy p;
+  EXPECT_FALSE(p.should_request(kCap, kCap, 6));
+  EXPECT_TRUE(p.should_request(kCap, kCap, 7));
+  // The interval never exceeds q/2 no matter how long the history.
+  EXPECT_TRUE(p.should_request(kCap, kCap, 100));
+}
+
+TEST(AckPolicy, ZeroCapacityDegeneratesToAlwaysRequest) {
+  // capacity == 0 means no buffer feedback signal at all; the policy must
+  // fail safe (every packet requests an ACK) rather than divide by zero.
+  AckPolicy p;
+  EXPECT_TRUE(p.should_request(0, 0, 0));
+}
+
+TEST(AckPolicy, TinyCapacitiesClampIntervalsToOne) {
+  AckPolicy p;
+  // capacity 1, free 1: frac 1.0 is plentiful, but q/2 = 0 clamps to 1.
+  EXPECT_TRUE(p.should_request(1, 1, 0));
+  // capacity 4, free 2: frac 0.5 is moderate, q/8 = 0 clamps to 1.
+  EXPECT_TRUE(p.should_request(2, 4, 0));
+  // capacity 4, free 4: plentiful, q/2 = 2.
+  EXPECT_FALSE(p.should_request(4, 4, 0));
+  EXPECT_TRUE(p.should_request(4, 4, 1));
+}
+
+TEST(AckPolicy, CustomWatermarksMoveTheBoundaries) {
+  AckPolicyConfig cfg;
+  cfg.low_watermark = 0.5;
+  cfg.high_watermark = 0.875;
+  AckPolicy p(cfg);
+  // free = 7 (< 8 = 0.5 * 16): scarce.
+  EXPECT_TRUE(p.should_request(7, kCap, 0));
+  // free = 8: moderate (interval 2).
+  EXPECT_FALSE(p.should_request(8, kCap, 0));
+  EXPECT_TRUE(p.should_request(8, kCap, 1));
+  // free = 14 (0.875 * 16): plentiful (interval 8).
+  EXPECT_FALSE(p.should_request(14, kCap, 6));
+  EXPECT_TRUE(p.should_request(14, kCap, 7));
+}
+
+TEST(AckPolicy, MonotoneInSinceLastRequest) {
+  // Once the policy requests at `since`, it requests for every larger value
+  // too — the feedback bit can be delayed but never un-asked.
+  AckPolicy p;
+  for (std::size_t free = 0; free <= kCap; ++free) {
+    bool requested = false;
+    for (std::uint32_t since = 0; since < 2 * kCap; ++since) {
+      const bool now = p.should_request(free, kCap, since);
+      EXPECT_TRUE(now || !requested) << "free=" << free << " since=" << since;
+      requested |= now;
+    }
+    EXPECT_TRUE(requested);
+  }
+}
+
+}  // namespace
+}  // namespace sanfault::firmware

@@ -213,5 +213,104 @@ TEST(Figure2Fabric, HostCapacityIsEnforced) {
   EXPECT_THROW(make_figure2_fabric(64), std::logic_error);
 }
 
+// --- k-ary Clos / fat-tree builder (the 64/128-host scale-out fabrics) -----
+
+TEST(ClosFabric, CanonicalShapeCounts) {
+  // k = 8 fully populated: 128 hosts, 32 edge + 32 agg + 16 core switches.
+  auto f = make_clos_fabric({});
+  EXPECT_EQ(f.cfg.k, 8u);
+  EXPECT_EQ(f.cfg.num_hosts, 128u);
+  EXPECT_EQ(f.cfg.core_group_size, 4u);
+  EXPECT_EQ(f.topo.num_hosts(), 128u);
+  EXPECT_EQ(f.cores.size(), 16u);
+  EXPECT_EQ(f.aggs.size(), 32u);
+  EXPECT_EQ(f.edges.size(), 32u);
+  EXPECT_EQ(f.topo.num_switches(), 80u);
+  // Links: 128 host access + 8 pods * 16 edge-agg + 32 aggs * 4 core uplinks.
+  EXPECT_EQ(f.topo.num_links(), 128u + 8 * 16 + 32 * 4);
+  // Core switches are created first so chaos scenarios can address the spine
+  // as switch 0.
+  EXPECT_EQ(f.cores[0].v, 0u);
+}
+
+TEST(ClosFabric, PartialPopulationKeepsSwitchShape) {
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 64});
+  EXPECT_EQ(f.topo.num_hosts(), 64u);
+  EXPECT_EQ(f.topo.num_switches(), 80u);  // fabric shape independent of hosts
+  EXPECT_EQ(f.topo.num_links(), 64u + 8 * 16 + 32 * 4);
+}
+
+TEST(ClosFabric, SpineRedundancyIsConfigurable) {
+  // core_group_size 2 halves the spine: k/2 * 2 = 8 cores, 2 uplinks per agg.
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 32, .core_group_size = 2});
+  EXPECT_EQ(f.cores.size(), 8u);
+  EXPECT_EQ(f.topo.num_switches(), 8u + 32u + 32u);
+  EXPECT_EQ(f.topo.num_links(), 32u + 8 * 16 + 32 * 2);
+}
+
+TEST(ClosFabric, EveryHostHasAValidAccessLink) {
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 64});
+  for (auto h : f.hosts) {
+    auto l = f.topo.host_access_link(h);
+    ASSERT_TRUE(l.has_value()) << "host " << h.v;
+    EXPECT_TRUE(f.topo.link_up(*l));
+    auto [a, b] = f.topo.link_ends(*l);
+    const bool host_end = a.dev == Device::host(h) || b.dev == Device::host(h);
+    EXPECT_TRUE(host_end) << "host " << h.v;
+    const Port sw_end = a.dev == Device::host(h) ? b : a;
+    EXPECT_TRUE(sw_end.dev.is_switch());
+    // Hosts sit on edge downlink ports (k/2 and up, below the edge radix).
+    EXPECT_GE(sw_end.port, f.cfg.k / 2);
+    EXPECT_LT(sw_end.port, f.cfg.k);
+  }
+}
+
+TEST(ClosFabric, AllPairsReachableAtClosDistances) {
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 64});
+  for (auto a : f.hosts) {
+    for (auto b : f.hosts) {
+      if (a == b) continue;
+      auto r = f.topo.shortest_route(a, b);
+      ASSERT_TRUE(r.has_value()) << a.v << "->" << b.v;
+      auto end = f.topo.trace_route(a, *r);
+      ASSERT_TRUE(end.has_value()) << a.v << "->" << b.v;
+      EXPECT_EQ(*end, Device::host(b));
+      // Fat-tree distances are exactly 1 (same edge), 3 (same pod) or
+      // 5 (cross-pod) switches.
+      EXPECT_TRUE(r->hops() == 1 || r->hops() == 3 || r->hops() == 5)
+          << a.v << "->" << b.v << " hops=" << r->hops();
+    }
+  }
+}
+
+TEST(ClosFabric, RoundRobinPlacementSetsExpectedDistances) {
+  // Hosts round-robin across the 32 pod-major edges: host 0 and host 32
+  // share edge 0 (distance 1); host 1 lands on edge 1, still pod 0
+  // (edges 0-3), so 0->1 is the same-pod edge-agg-edge path (distance 3);
+  // host 4 lands on edge 4 in pod 1, the cross-pod path through the spine
+  // (distance 5). bench_scale relies on exactly these three pairs.
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 64});
+  EXPECT_EQ(f.topo.shortest_route(f.hosts[0], f.hosts[32])->hops(), 1u);
+  EXPECT_EQ(f.topo.shortest_route(f.hosts[0], f.hosts[1])->hops(), 3u);
+  EXPECT_EQ(f.topo.shortest_route(f.hosts[0], f.hosts[4])->hops(), 5u);
+}
+
+TEST(ClosFabric, SurvivesSingleCoreSwitchDeath) {
+  auto f = make_clos_fabric({.k = 8, .num_hosts = 64});
+  f.topo.set_switch_up(f.cores[0], false);
+  // Cross-pod pairs re-route through the redundant spine.
+  for (std::size_t j = 1; j < 8; ++j) {
+    auto r = f.topo.shortest_route(f.hosts[0], f.hosts[j]);
+    ASSERT_TRUE(r.has_value()) << "0->" << j;
+    EXPECT_EQ(*f.topo.trace_route(f.hosts[0], *r), Device::host(f.hosts[j]));
+  }
+}
+
+TEST(ClosFabric, RejectsBadShapes) {
+  EXPECT_THROW(make_clos_fabric({.k = 5}), std::invalid_argument);
+  EXPECT_THROW(make_clos_fabric({.k = 8, .core_group_size = 5}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace sanfault::net
