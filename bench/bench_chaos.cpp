@@ -15,7 +15,15 @@
 //                    recovery needs remap + generation restart after heal;
 //   error-ramp     — loss/corruption rates ramp up on every link (transient
 //                    errors only; no disruptive fault);
-//   compound       — ramp + flap + NIC reset + client partition together.
+//   compound       — ramp + flap + NIC reset + client partition together;
+//   spine-death-placement / spine-death-random
+//                  — Clos-only placement experiment: every server in one pod
+//                    dies permanently at p25 (whole fault domain lost) with
+//                    the SWIM membership stack running. Pod-aware placement
+//                    must keep every shard at quorum; the seeded-random
+//                    control must demonstrably lose quorum (both cells kill
+//                    the same pod — the one carrying a co-located shard
+//                    under random placement).
 //
 // Per cell: recovery metrics from chaos::RecoveryMonitor (time-to-first-
 // redelivery, remap convergence, retransmission amplification, goodput dip
@@ -28,6 +36,7 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -52,6 +61,13 @@ struct CellSpec {
   bool require_remap;
   /// Fabric under test; the scale cells run on the 64-host k=8 fat-tree.
   harness::TopoKind topo = harness::TopoKind::kFigure2;
+  /// spine_death_placement cells: run SWIM membership on every host, kill one
+  /// whole fault domain (every server in the victim pod) permanently, and
+  /// judge the replica-quorum invariant. `pod_aware` selects the placement
+  /// policy under test; false is the seeded-random control expected to LOSE
+  /// quorum (some shard keeps both replicas in one pod).
+  bool placement_cell = false;
+  bool pod_aware = false;
 };
 
 struct CellResult {
@@ -66,6 +82,11 @@ struct CellResult {
   std::vector<std::string> violations;
   std::string event_log;
   std::string metrics_json;
+  /// Placement cells only (-1 otherwise): the quorum verdict, mirrored from
+  /// the invariant input so the campaign JSON logs both outcomes.
+  int quorum_expected = -1;
+  bool quorum_held = true;
+  std::uint64_t shards_no_live_replica = 0;
 };
 
 /// The scenario DSL text for `name` on an `n`-host Figure-2 fabric. Link 0
@@ -126,6 +147,55 @@ std::string scenario_text(const std::string& name, std::size_t n) {
   std::abort();
 }
 
+/// Victim hosts for the spine_death_placement cells: every server in the
+/// first pod where a POD-BLIND shard map co-locates some shard's primary and
+/// backup. The pod is computed from a blind twin of the rig's map (same
+/// servers, shard count, vnodes and seed), so the pod-aware cell and its
+/// random control kill the exact same fault domain — the one that provably
+/// carries both replicas of at least one shard under random placement.
+std::vector<std::uint32_t> placement_victims(const kv::KvRig& rig) {
+  const kv::KvRigConfig& cfg = rig.config();
+  std::vector<net::HostId> servers(
+      rig.c.hosts.begin(),
+      rig.c.hosts.begin() + static_cast<std::ptrdiff_t>(cfg.num_servers));
+  const kv::ShardMap blind(std::move(servers), cfg.num_shards, /*vnodes=*/16,
+                           cfg.map_seed);
+  std::uint32_t victim_pod = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t sh = 0; sh < blind.num_shards(); ++sh) {
+    const std::uint32_t p = rig.c.host_pods[blind.primary(sh).v];
+    const std::uint32_t b = rig.c.host_pods[blind.backup(sh).v];
+    if (p == b) {
+      victim_pod = p;
+      break;
+    }
+  }
+  if (victim_pod == std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr,
+                 "placement cell: blind map co-locates no shard; the control "
+                 "would show nothing\n");
+    std::abort();
+  }
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t i = 0; i < cfg.num_servers; ++i) {
+    if (rig.c.host_pods[i] == victim_pod) victims.push_back(i);
+  }
+  return victims;
+}
+
+/// Permanent whole-domain kill: cut every victim's access link at p25, no
+/// heal. SWIM confirms the deaths, survivors exclude the peers, clients fail
+/// over; whether a shard stays served depends purely on placement.
+std::string placement_scenario_text(const std::string& name,
+                                    const std::vector<std::uint32_t>& victims) {
+  std::string list;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    if (i > 0) list += ",";
+    list += std::to_string(victims[i]);
+  }
+  return "scenario " + name + "\nseed 18\nphase p25 partition hosts=" + list +
+         "\n";
+}
+
 CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
                     double rate_rps, std::size_t num_clients,
                     bool want_metrics) {
@@ -140,7 +210,20 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   // hours-long jobs); scenario timings above are calibrated against this.
   rc.cluster.rel.fail_threshold = sim::milliseconds(10);
   rc.cluster.rel.fail_min_rounds = 8;
+  if (spec.placement_cell) {
+    // Placement cells run the full production membership stack: SWIM gossip
+    // on every host (confirm -> firmware exclusion -> client dead-hook
+    // failover) plus the placement policy under test. Gossip needs a full
+    // n x n message mesh, so shrink the per-sender ring partitions (gossip
+    // packets are tiny; the largest KV message still fits in 16 KiB).
+    rc.membership = true;
+    rc.pod_aware_placement = spec.pod_aware;
+    rc.ring_per_peer = 16 * 1024;
+  }
   if (spec.topo == harness::TopoKind::kClos) {
+    // k=4 (16-host) fat-tree for the quick placement cells; the 64-host
+    // cells keep the canonical k=8.
+    if (spec.hosts <= 16) rc.cluster.clos.k = 4;
     // Scale-out remaps must converge inside the KV replication retry budget
     // (~seconds). A cross-pod BFS on the 80-switch fat-tree costs ~20k+
     // probes with the default Table-3 methodology — mostly duplicate
@@ -168,9 +251,16 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
         [&monitor](const firmware::FwEvent& ev) { monitor.on_fw_event(ev); });
   }
 
-  chaos::ChaosEngine engine(
-      rig.c.sched, rig.c.fabric(),
-      chaos::Scenario::parse(scenario_text(spec.scenario, spec.hosts)));
+  std::vector<std::uint32_t> victims;
+  std::string scen_text;
+  if (spec.placement_cell) {
+    victims = placement_victims(rig);
+    scen_text = placement_scenario_text(spec.scenario, victims);
+  } else {
+    scen_text = scenario_text(spec.scenario, spec.hosts);
+  }
+  chaos::ChaosEngine engine(rig.c.sched, rig.c.fabric(),
+                            chaos::Scenario::parse(scen_text));
   engine.set_nic_reset_fn(
       [&rig](std::uint32_t host) { rig.c.rel(host).nic_reset(); });
   engine.arm();
@@ -211,6 +301,23 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   in.ops_completed = s.completed;
   in.require_redelivery = spec.require_redelivery;
   in.require_remap = spec.require_remap;
+  if (spec.placement_cell) {
+    // Replica-quorum verdict: a shard is lost when both its replicas sat on
+    // hosts in the killed domain. Pod-aware placement guarantees primary and
+    // backup straddle pods, so no shard can lose both.
+    std::vector<bool> dead(spec.hosts, false);
+    for (const std::uint32_t v : victims) dead[v] = true;
+    std::uint64_t lost = 0;
+    for (std::size_t sh = 0; sh < rig.map->num_shards(); ++sh) {
+      if (dead[rig.map->primary(sh).v] && dead[rig.map->backup(sh).v]) ++lost;
+    }
+    in.quorum_expected = spec.pod_aware ? 1 : 0;
+    in.quorum_held = lost == 0;
+    in.shards_no_live_replica = lost;
+    r.quorum_expected = in.quorum_expected;
+    r.quorum_held = in.quorum_held;
+    r.shards_no_live_replica = lost;
+  }
   r.violations = chaos::check_invariants(r.recovery, in);
 
   if (want_metrics) r.metrics_json = obs::Registry::of(rig.c.sched).to_json();
@@ -236,7 +343,9 @@ bool write_json(const char* path, const std::vector<CellResult>& rows) {
         "\"gen_restarts\": %llu, \"remap_convergences\": %llu, "
         "\"remap_conv_max_ns\": %llu, \"retrans_amplification\": %.4f, "
         "\"goodput_dip_area\": %.1f, \"nic_resets\": %llu, "
-        "\"audit_ok\": %s, \"invariant_violations\": %zu}%s\n",
+        "\"audit_ok\": %s, \"invariant_violations\": %zu, "
+        "\"placement\": \"%s\", \"quorum_expected\": %d, "
+        "\"quorum_held\": %s, \"shards_no_live_replica\": %llu}%s\n",
         r.spec.scenario, r.spec.hosts,
         static_cast<unsigned long long>(r.issued),
         static_cast<unsigned long long>(r.ok),
@@ -250,6 +359,11 @@ bool write_json(const char* path, const std::vector<CellResult>& rows) {
         rec.retrans_amplification(), rec.goodput_dip_area,
         static_cast<unsigned long long>(rec.nic_resets),
         r.audit.ok() ? "true" : "false", r.violations.size(),
+        !r.spec.placement_cell ? "none"
+        : r.spec.pod_aware     ? "pod-aware"
+                               : "random",
+        r.quorum_expected, r.quorum_held ? "true" : "false",
+        static_cast<unsigned long long>(r.shards_no_live_replica),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -336,6 +450,10 @@ int main(int argc, char** argv) {
   const std::vector<CellSpec> scale_specs = {
       {"spine-death", 64, true, true, harness::TopoKind::kClos},
       {"partition-heal", 64, true, true, harness::TopoKind::kClos},
+      {"spine-death-placement", 64, false, false, harness::TopoKind::kClos,
+       /*placement_cell=*/true, /*pod_aware=*/true},
+      {"spine-death-random", 64, false, false, harness::TopoKind::kClos,
+       /*placement_cell=*/true, /*pod_aware=*/false},
   };
 
   // Quick: one cell per scenario class across all three fabric sizes (the
@@ -350,6 +468,10 @@ int main(int argc, char** argv) {
         {"partition-heal", 8, true, true},
         {"error-ramp", 4, false, false},
         {"compound", 16, true, false},
+        {"spine-death-placement", 16, false, false, harness::TopoKind::kClos,
+         /*placement_cell=*/true, /*pod_aware=*/true},
+        {"spine-death-random", 16, false, false, harness::TopoKind::kClos,
+         /*placement_cell=*/true, /*pod_aware=*/false},
     };
   } else if (scale) {
     specs = scale_specs;
@@ -386,7 +508,7 @@ int main(int argc, char** argv) {
 
   harness::Table t({"Scenario", "Hosts", "Goodput(rps)", "Avail", "TTFR(us)",
                     "RemapConv(us)", "GenRestarts", "RetxAmp", "DipArea",
-                    "Audit", "Invariants"});
+                    "Quorum", "Audit", "Invariants"});
   for (const CellResult& r : rows) {
     const auto& rec = r.recovery;
     t.add_row({r.spec.scenario, std::to_string(r.spec.hosts),
@@ -401,6 +523,9 @@ int main(int argc, char** argv) {
                std::to_string(rec.gen_restarts),
                harness::fmt(rec.retrans_amplification(), 3),
                harness::fmt(rec.goodput_dip_area, 0),
+               !r.spec.placement_cell ? "-"
+               : r.quorum_held        ? "held"
+                                      : "lost",
                r.audit.ok() ? "OK" : "FAIL",
                r.violations.empty() ? "OK" : "FAIL"});
   }

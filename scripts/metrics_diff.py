@@ -76,6 +76,15 @@ COST_PREFIXES = (
     "chaos.remap_conv_max_ns",
     "chaos.retrans_amplification_milli",
     "chaos.goodput_dip_area_milli",
+    # Membership (src/membership, docs/OBSERVABILITY.md): more missed direct
+    # acks, suspicions, refutations, or gossip volume for the same run means
+    # the detector got noisier or chattier.
+    "membership.probe_timeouts",
+    "membership.suspects",
+    "membership.refutations",
+    "membership.gossip_msgs_tx",
+    "membership.gossip_bytes_tx",
+    "chaos.peer_exclusions",
 )
 
 # Counter schema names where shrinkage means useful work was lost.
@@ -94,6 +103,10 @@ GOODPUT_PREFIXES = (
     "chaos.data_deliveries",
     "chaos.remap_convergences",
     "chaos.ttfr_samples",
+    # Membership: fewer acked probes means probing stopped reaching members;
+    # fewer confirms for the same kill campaign means detection stopped.
+    "membership.acks_rx",
+    "membership.confirms",
 )
 
 

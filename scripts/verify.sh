@@ -76,6 +76,19 @@ if [[ "$QUICK" == 0 ]]; then
   echo "chaos determinism OK: double run bit-identical"
 fi
 
+# Membership gate: the SWIM sweep (docs/OBSERVABILITY.md membership.*) must
+# confirm the killed host everywhere, hold the analytic detection bound, and
+# win the confirm-vs-local-threshold race in every cell; the sweep exits
+# nonzero otherwise. The detector is seeded-Rng + sim-time driven, so a
+# second run — at a different --jobs — must produce byte-identical JSON.
+echo "--- membership gate: bench_membership --quick determinism double run"
+./build/bench/bench_membership --quick \
+    --json build/membership_quick.json >/dev/null
+./build/bench/bench_membership --quick --jobs 2 \
+    --json build/membership_quick2.json >/dev/null
+cmp build/membership_quick.json build/membership_quick2.json
+echo "membership determinism OK: double run bit-identical"
+
 # Workflow static validation (actionlint stand-in; no-op without PyYAML).
 python3 scripts/validate_ci.py
 

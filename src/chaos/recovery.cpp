@@ -99,6 +99,9 @@ void RecoveryMonitor::on_fw_event(const firmware::FwEvent& ev) {
     case firmware::FwEvent::Kind::kNicReset:
       ++report_.nic_resets;
       break;
+    case firmware::FwEvent::Kind::kPeerExcluded:
+      ++report_.peer_exclusions;
+      break;
   }
 }
 
@@ -153,6 +156,7 @@ void RecoveryMonitor::finalize() {
   c("chaos.remap_starts", "events", report_.remap_starts);
   c("chaos.remap_failures", "events", report_.remap_failures);
   c("chaos.nic_resets", "events", report_.nic_resets);
+  c("chaos.peer_exclusions", "events", report_.peer_exclusions);
   c("chaos.data_deliveries", "packets", report_.data_deliveries);
   c("chaos.retrans_deliveries", "packets", report_.retrans_deliveries);
   c("chaos.retrans_amplification_milli", "milli",
@@ -193,6 +197,16 @@ std::vector<std::string> check_invariants(const RecoveryReport& r,
       (r.gen_restarts == 0 || r.remap_convergences == 0)) {
     fails.emplace_back(
         "no converged generation restart (expected a remap)");
+  }
+  if (in.quorum_expected == 1 && !in.quorum_held) {
+    fails.push_back("replica quorum lost: " +
+                    std::to_string(in.shards_no_live_replica) +
+                    " shard(s) with no live replica");
+  }
+  if (in.quorum_expected == 0 && in.quorum_held) {
+    fails.emplace_back(
+        "control placement unexpectedly kept quorum (experiment shows "
+        "nothing)");
   }
   return fails;
 }

@@ -61,6 +61,7 @@ struct RecoveryReport {
   std::uint64_t remap_starts = 0;
   std::uint64_t remap_failures = 0;  // remap finished with no route
   std::uint64_t nic_resets = 0;
+  std::uint64_t peer_exclusions = 0;  // membership-driven channel shutdowns
 
   // Delivery accounting.
   std::uint64_t data_deliveries = 0;
@@ -125,6 +126,15 @@ struct InvariantInput {
   std::uint64_t ops_completed = 0;  // operations that finished
   bool require_redelivery = false;  // scenario kills a loaded path
   bool require_remap = false;       // scenario forces a generation restart
+
+  /// Replica-quorum verdict for placement-policy cells (-1 = not evaluated).
+  /// 1: every shard must have kept a live replica (pod-aware placement under
+  /// a whole-domain kill); 0: the cell is a control expected to LOSE quorum
+  /// (seeded-random placement under the same kill) — the checker flags the
+  /// control surviving, since that would mean the experiment shows nothing.
+  int quorum_expected = -1;
+  bool quorum_held = true;            // measured by the campaign runner
+  std::uint64_t shards_no_live_replica = 0;
 };
 
 /// Check the campaign invariants; returns one human-readable line per

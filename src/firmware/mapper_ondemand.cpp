@@ -126,6 +126,16 @@ void OnDemandMapper::invalidate_path(HostId dst) {
   if (path_cache_.erase(dst)) ++stats_.path_cache_invalidations;
 }
 
+void OnDemandMapper::on_path_failure(HostId dst) {
+  invalidate_path(dst);
+  // A mapping already running for dst raced the failure report. Let it
+  // finish (its callbacks may still want the answer) but poison its result:
+  // caching it would re-install a route discovered before — possibly over —
+  // the path that just died, which a later report would then invalidate a
+  // second time (double-counted invalidations for one failure).
+  if (active_dst_ && *active_dst_ == dst) active_invalidated_ = true;
+}
+
 void OnDemandMapper::flush_cache() {
   attach_port_.reset();
   path_cache_.clear();
@@ -501,9 +511,12 @@ sim::Process OnDemandMapper::drive() {
     std::uint64_t probes_used = 0;
     active_dst_ = req.dst;
     active_cbs_ = &req.cbs;
+    active_invalidated_ = false;
     std::optional<Route> result = co_await bfs(req.dst, &probes_used);
+    const bool poisoned = active_invalidated_;
     active_dst_.reset();
     active_cbs_ = nullptr;
+    active_invalidated_ = false;
 
     stats_.last_mapping_time = sched.now() - t0;
     stats_.mapping_time_total += stats_.last_mapping_time;
@@ -516,11 +529,15 @@ sim::Process OnDemandMapper::drive() {
         .record(static_cast<std::uint64_t>(stats_.last_mapping_time));
     stats_.last_host_probes = stats_.host_probes_tx - h0;
     stats_.last_switch_probes = stats_.switch_probes_tx - s0;
+    // A run poisoned by a concurrent on_path_failure is served but never
+    // cached — including the entry bfs itself may have added when a probe
+    // from the (possibly dead) path reached the destination in passing.
+    if (poisoned) path_cache_.erase(req.dst);
     if (result) {
       ++stats_.mappings_succeeded;
       // The requested destination is always cached (capacity permitting);
       // cache_discovered_hosts only governs hosts found in passing.
-      if (cfg_.path_cache_capacity > 0) {
+      if (cfg_.path_cache_capacity > 0 && !poisoned) {
         path_cache_.put(req.dst, *result, &stats_.path_cache_evictions);
       }
     } else {

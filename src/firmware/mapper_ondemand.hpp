@@ -121,7 +121,12 @@ class OnDemandMapper final : public MapperIface {
   // --- MapperIface ---------------------------------------------------------
   void request_route(net::HostId dst, RouteCallback cb) override;
   void on_probe_packet(net::Packet pkt) override;
-  void on_path_failure(net::HostId dst) override { invalidate_path(dst); }
+  /// Idempotent: invalidates the cached path once, no matter how many
+  /// reporters converge on the same dead destination (the local no-progress
+  /// detector and a membership exclusion often race). If a mapping for `dst`
+  /// is in flight, its eventual result is also kept out of the cache — the
+  /// discovery raced the failure, so the route it found may already be dead.
+  void on_path_failure(net::HostId dst) override;
   void on_nic_reset() override { flush_cache(); }
 
   [[nodiscard]] const OnDemandMapperStats& stats() const { return stats_; }
@@ -205,6 +210,9 @@ class OnDemandMapper final : public MapperIface {
   /// Destination of the BFS currently in flight (for request merging).
   std::optional<net::HostId> active_dst_;
   std::vector<RouteCallback>* active_cbs_ = nullptr;
+  /// Set when on_path_failure hits the in-flight destination: the result of
+  /// the current BFS must not be cached (it may be the failed path).
+  bool active_invalidated_ = false;
 
   /// Nonce -> in-flight probe bookkeeping.
   std::unordered_map<std::uint64_t, ProbeWait*> inflight_;

@@ -69,6 +69,8 @@ void ReliableFirmware::register_metrics() {
     r.counter("firmware.no_route_drops" + node, "packets")
         .set(s.no_route_drops);
     r.counter("firmware.nic_resets" + node, "resets").set(s.nic_resets);
+    r.counter("firmware.peer_exclusions" + node, "peers")
+        .set(s.peer_exclusions);
     free_bufs_->set(static_cast<std::int64_t>(nic_.send_pool().free_count()));
   });
 }
@@ -582,6 +584,20 @@ void ReliableFirmware::nic_reset() {
     // reset is invisible to the layers above (modulo latency).
     begin_remap(h, ch);
   }
+}
+
+void ReliableFirmware::exclude_peer(HostId peer) {
+  TxChannel& ch = tx(peer);
+  if (ch.unreachable) return;  // already down (local detector won the race)
+  ++stats_.peer_exclusions;
+  publish(FwEvent{FwEvent::Kind::kPeerExcluded, nic_.self(), peer,
+                  ch.generation, false,
+                  static_cast<std::uint32_t>(ch.retrans_queue.size())});
+  routes_.invalidate(peer);
+  if (mapper_ != nullptr) mapper_->on_path_failure(peer);
+  ch.unreachable = true;
+  ch.rounds_without_progress = 0;
+  drop_pending(peer, ch);
 }
 
 void ReliableFirmware::drop_pending(HostId /*h*/, TxChannel& ch) {

@@ -89,6 +89,7 @@ struct ReliabilityStats {
   std::uint64_t unreachable_drops = 0;   // packets discarded, no path
   std::uint64_t no_route_drops = 0;      // no route and no mapper attached
   std::uint64_t nic_resets = 0;          // chaos-injected firmware restarts
+  std::uint64_t peer_exclusions = 0;     // membership-driven exclusions
 };
 
 /// A protocol-level recovery transition, published synchronously to an
@@ -103,6 +104,7 @@ struct FwEvent {
     kRemapDone,   // mapping finished (ok = route found)
     kGenRestart,  // sequence space restarted under generation `gen`
     kNicReset,    // firmware restarted; route cache lost
+    kPeerExcluded,  // membership confirmed the peer dead; channel flushed
   };
   Kind kind;
   net::HostId self;  // the NIC observing the transition
@@ -135,6 +137,15 @@ class ReliableFirmware final : public nic::FirmwareIface {
   /// Without a mapper the routes simply vanish; later sends are no-route
   /// drops, as a statically-mapped network would behave.
   void nic_reset();
+
+  /// Proactive exclusion: cluster membership (SWIM, src/membership) has
+  /// confirmed `peer` dead, typically well before this NIC's own no-progress
+  /// threshold would fire. Invalidates the route and the mapper's cached
+  /// path, drops pending traffic (freeing its send buffers) and marks the
+  /// channel unreachable so nothing further is retried against the corpse.
+  /// Idempotent: repeat calls — and calls racing the local failure detector —
+  /// are no-ops once the channel is already down.
+  void exclude_peer(net::HostId peer);
 
   /// Introspection for tests: sender/receiver channel state toward `h`.
   [[nodiscard]] const TxChannel* tx_channel(net::HostId h) const;

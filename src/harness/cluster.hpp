@@ -149,6 +149,12 @@ class Cluster {
   /// Populated for kFigure2 and kClos (creation order; kClos puts the spine
   /// switches first — see net::ClosFabric).
   std::vector<net::SwitchId> switches;
+  /// Fault-domain (pod) ordinal per host, parallel to `hosts` — the input to
+  /// membership::FaultDomainTree and pod-aware shard placement. kClos: the
+  /// fat-tree pod. kFigure2: the leaf switch the host hangs off. Single
+  /// switch: one trivial domain.
+  std::vector<std::uint32_t> host_pods;
+  std::size_t num_pods = 1;
 
  private:
   void build_topology() {
@@ -162,6 +168,8 @@ class Cluster {
                      {net::Device::sw(sw), static_cast<std::uint8_t>(i)});
         hosts.push_back(h);
       }
+      host_pods.assign(hosts.size(), 0);
+      num_pods = 1;
     } else if (cfg_.topo == TopoKind::kClos) {
       auto clos = cfg_.clos;
       clos.num_hosts = cfg_.num_hosts;
@@ -180,11 +188,29 @@ class Cluster {
           switches.push_back(f.edges[pod * m + e]);
         }
       }
+      // Host i hangs off edge (i mod num_edges); edges are pod-major, m per
+      // pod — so pods stripe across consecutive host ids.
+      const std::size_t num_edges = f.edges.size();
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        host_pods.push_back(static_cast<std::uint32_t>((i % num_edges) / m));
+      }
+      num_pods = f.cfg.k;
     } else {
       auto f = net::make_figure2_fabric(cfg_.num_hosts);
       topo = std::move(f.topo);
       hosts = std::move(f.hosts);
       switches = {f.sw8_a, f.sw16_a, f.sw16_b, f.sw8_b};
+      // Domain = the leaf switch the host is cabled into (round-robin with
+      // port-full skipping — read it back from the built topology).
+      for (const net::HostId h : hosts) {
+        auto att = topo.peer_of({net::Device::host(h), 0});
+        assert(att.has_value());
+        const net::SwitchId sw = att->peer.dev.as_switch();
+        const auto it = std::find(switches.begin(), switches.end(), sw);
+        host_pods.push_back(
+            static_cast<std::uint32_t>(it - switches.begin()));
+      }
+      num_pods = switches.size();
     }
   }
 

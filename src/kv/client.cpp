@@ -25,6 +25,7 @@ KvClientHost::KvClientHost(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
     reg.counter("kv.client_dup_replies" + node, "messages")
         .set(s.dup_replies);
     reg.counter("kv.client_bad_msgs" + node, "messages").set(s.bad_msgs);
+    reg.counter("kv.client_dead_skips" + node, "attempts").set(s.dead_skips);
   });
 }
 
@@ -83,6 +84,14 @@ sim::Task<Outcome> KvClientHost::call(RequestId id, Op op, std::uint64_t key,
   int consecutive_timeouts = 0;
 
   while (!pc.replied && o.attempts < policy.max_attempts) {
+    if (dead_ && target != backup && dead_(target)) {
+      // Membership already confirmed the target dead — skip straight to the
+      // backup rather than discovering the corpse one timeout at a time.
+      target = backup;
+      ++o.failovers;
+      ++stats_.failovers;
+      ++stats_.dead_skips;
+    }
     ++o.attempts;
     ++stats_.posts;
     co_await msgs_.post(target, wire);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,7 @@ struct KvClientStats {
   std::uint64_t stale_replies = 0;  // reply after the call gave up
   std::uint64_t dup_replies = 0;
   std::uint64_t bad_msgs = 0;
+  std::uint64_t dead_skips = 0;  // attempts redirected by the dead oracle
 };
 
 class KvClientHost {
@@ -77,6 +79,14 @@ class KvClientHost {
 
   /// Spawn the reply-dispatch pump. Call once, after mesh connect.
   void start();
+
+  /// Optional membership oracle: returns true when this node's local
+  /// membership view has confirmed `h` dead. call() consults it before every
+  /// attempt and fails over to the shard backup immediately instead of
+  /// burning `failover_after` timeouts against a corpse. Kept as a plain
+  /// callback so kv stays ignorant of the membership layer's types.
+  using DeadHook = std::function<bool(net::HostId)>;
+  void set_dead_hook(DeadHook dead) { dead_ = std::move(dead); }
 
   /// Issue one request on behalf of logical client `id.client`. The caller
   /// owns id uniqueness (the traffic engine assigns per-client sequences).
@@ -100,6 +110,7 @@ class KvClientHost {
   vmmc::MsgEndpoint& msgs_;
   const ShardMap& map_;
   std::unordered_map<std::uint64_t, PendingCall*> pending_;
+  DeadHook dead_;
   KvClientStats stats_;
   obs::Histogram* call_latency_ = nullptr;  // committed calls only
 };

@@ -17,6 +17,8 @@
 #include "kv/client.hpp"
 #include "kv/server.hpp"
 #include "kv/shard_map.hpp"
+#include "membership/fault_domains.hpp"
+#include "membership/swim.hpp"
 #include "sim/process.hpp"
 #include "vmmc/endpoint.hpp"
 #include "vmmc/rpc.hpp"
@@ -34,6 +36,19 @@ struct KvRigConfig {
   KvServerConfig server;
   /// Cluster knobs; num_hosts is overwritten with servers + client hosts.
   harness::ClusterConfig cluster;
+
+  /// Run a SWIM membership agent on every host (src/membership), gossiping
+  /// over the same message endpoints the KV protocol uses. A host's agent
+  /// confirming a death proactively excludes the dead peer at its firmware
+  /// (flushing the mapper path cache and pending traffic) and lets its KV
+  /// clients fail over immediately instead of waiting out timeouts.
+  /// Requires reliable firmware; implies a full gossip mesh.
+  bool membership = false;
+  membership::SwimConfig swim;
+  /// Place each shard's backup in a different fault domain (pod) than its
+  /// primary (harness::Cluster::host_pods feeds the ShardMap). Pure
+  /// construction-time policy: only changes placement on multi-pod fabrics.
+  bool pod_aware_placement = false;
 };
 
 class KvRig {
@@ -41,11 +56,20 @@ class KvRig {
   explicit KvRig(KvRigConfig cfg)
       : cfg_(fix(std::move(cfg))), c(cfg_.cluster) {
     const std::size_t n = c.size();
+    domains = std::make_unique<membership::FaultDomainTree>(
+        membership::FaultDomainTree::from_pods(c.host_pods));
     std::vector<net::HostId> server_hosts(
         c.hosts.begin(),
         c.hosts.begin() + static_cast<std::ptrdiff_t>(cfg_.num_servers));
+    std::vector<std::uint32_t> server_pods;
+    if (cfg_.pod_aware_placement) {
+      server_pods.assign(
+          c.host_pods.begin(),
+          c.host_pods.begin() + static_cast<std::ptrdiff_t>(cfg_.num_servers));
+    }
     map = std::make_unique<ShardMap>(std::move(server_hosts), cfg_.num_shards,
-                                     /*vnodes=*/16, cfg_.map_seed);
+                                     /*vnodes=*/16, cfg_.map_seed,
+                                     std::move(server_pods));
 
     for (std::size_t i = 0; i < n; ++i) {
       eps.push_back(std::make_unique<vmmc::Endpoint>(c.sched, c.nic(i)));
@@ -64,6 +88,25 @@ class KvRig {
     connect_mesh();
     for (auto& s : servers) s->start();
     for (auto& ch : clients) ch->start();
+
+    if (cfg_.membership) {
+      assert(cfg_.cluster.fw == harness::FirmwareKind::kReliable &&
+             "membership exclusion needs the reliable firmware");
+      for (std::size_t i = 0; i < n; ++i) {
+        agents.push_back(std::make_unique<membership::SwimAgent>(
+            c.sched, *msgs[i], c.hosts, cfg_.swim));
+        agents.back()->set_confirm_hook(
+            [this, i](net::HostId dead, sim::Time) {
+              c.rel(i).exclude_peer(dead);
+            });
+      }
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        membership::SwimAgent* a = agents[cfg_.num_servers + k].get();
+        clients[k]->set_dead_hook(
+            [a](net::HostId h) { return a->confirmed_dead(h); });
+      }
+      for (auto& a : agents) a->start();
+    }
   }
 
   [[nodiscard]] const KvRigConfig& config() const { return cfg_; }
@@ -109,11 +152,14 @@ class KvRig {
 
   KvRigConfig cfg_;
   harness::Cluster c;
+  std::unique_ptr<membership::FaultDomainTree> domains;
   std::unique_ptr<ShardMap> map;
   std::vector<std::unique_ptr<vmmc::Endpoint>> eps;
   std::vector<std::unique_ptr<vmmc::MsgEndpoint>> msgs;
   std::vector<std::unique_ptr<KvServer>> servers;
   std::vector<std::unique_ptr<KvClientHost>> clients;
+  /// One SWIM agent per host, host order (empty unless cfg.membership).
+  std::vector<std::unique_ptr<membership::SwimAgent>> agents;
 
  private:
   static KvRigConfig fix(KvRigConfig cfg) {
@@ -122,22 +168,17 @@ class KvRig {
   }
 
   // Servers talk to everyone (replication, forwards, replies); client hosts
-  // only ever post to servers.
+  // only ever post to servers — unless membership gossip is on, in which
+  // case every host probes every other and the mesh must be full.
   void connect_mesh() {
     bool done = false;
     [](KvRig& r, bool& flag) -> sim::Process {
       const std::size_t s = r.cfg_.num_servers;
       const std::size_t n = r.c.size();
-      for (std::size_t i = 0; i < s; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t targets = (i < s || r.cfg_.membership) ? n : s;
+        for (std::size_t j = 0; j < targets; ++j) {
           if (i == j) continue;
-          const bool ok = co_await r.msgs[i]->connect(r.c.hosts[j]);
-          assert(ok);
-          (void)ok;
-        }
-      }
-      for (std::size_t i = s; i < n; ++i) {
-        for (std::size_t j = 0; j < s; ++j) {
           const bool ok = co_await r.msgs[i]->connect(r.c.hosts[j]);
           assert(ok);
           (void)ok;

@@ -30,10 +30,19 @@ inline std::uint64_t mix64(std::uint64_t x) {
 
 class ShardMap {
  public:
+  /// `server_pods` (optional) gives the fault-domain (pod) index of each
+  /// server, parallel to `servers`. When present, a shard's backup is the
+  /// next ring server in a DIFFERENT pod from its primary, so no single
+  /// pod-level fault can hold both replicas of any shard. Falls back to the
+  /// classic next-distinct-server rule when every server shares the
+  /// primary's pod (degenerate fabrics). Empty = placement is pod-blind.
   ShardMap(std::vector<net::HostId> servers, std::size_t num_shards = 32,
-           std::size_t vnodes = 16, std::uint64_t seed = 0x5a4dull)
+           std::size_t vnodes = 16, std::uint64_t seed = 0x5a4dull,
+           std::vector<std::uint32_t> server_pods = {})
       : servers_(std::move(servers)), num_shards_(num_shards) {
     assert(servers_.size() >= 2 && "replication needs at least two servers");
+    assert((server_pods.empty() || server_pods.size() == servers_.size()) &&
+           "server_pods must parallel servers");
     std::vector<std::pair<std::uint64_t, std::size_t>> ring;
     ring.reserve(servers_.size() * vnodes);
     for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -62,6 +71,19 @@ class ShardMap {
       while (at(step) == prim) ++step;  // terminates: >= 2 distinct servers
       primary_[sh] = prim;
       backup_[sh] = at(step);
+      if (!server_pods.empty()) {
+        // Pod-aware override: keep walking the ring for a server outside the
+        // primary's pod. Bounded by ring.size(); if the walk wraps without
+        // finding one (all servers in one pod) the pod-blind backup stands.
+        const std::uint32_t prim_pod = server_pods[prim];
+        for (std::size_t s2 = step; s2 < ring.size(); ++s2) {
+          const std::size_t cand = at(s2);
+          if (server_pods[cand] != prim_pod) {
+            backup_[sh] = cand;
+            break;
+          }
+        }
+      }
     }
   }
 

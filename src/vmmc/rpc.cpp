@@ -72,6 +72,7 @@ sim::Process MsgEndpoint::pump() {
                                                               ev.length));
     ++stats_.msgs_rx;
     stats_.bytes_rx += m.bytes.size();
+    if (tap_ && tap_(m)) continue;  // consumed by the sideband protocol
     inbox_.push(sched_, std::move(m));
   }
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +80,13 @@ class MsgEndpoint {
   /// Inbound messages from all peers, in per-peer order.
   [[nodiscard]] sim::Channel<Msg>& inbox() { return inbox_; }
 
+  /// Optional pre-inbox intercept. The pump offers every complete message to
+  /// the tap first; returning true consumes it (it never reaches the inbox).
+  /// Lets a sideband protocol (membership gossip) share a service's ring
+  /// without the service's dispatch loop having to know its message types.
+  using Tap = std::function<bool(const Msg&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
   [[nodiscard]] net::HostId host() const { return ep_.host(); }
   [[nodiscard]] const MsgEndpointStats& stats() const { return stats_; }
 
@@ -95,6 +103,7 @@ class MsgEndpoint {
   std::size_t per_peer_;
   std::unordered_map<net::HostId, Peer> peers_;
   sim::Channel<Msg> inbox_;
+  Tap tap_;
   MsgEndpointStats stats_;
 };
 
