@@ -33,6 +33,7 @@
 //   ./build/bench/bench_chaos [--quick] [--json <file>]
 //                             [--metrics-json <file>] [--log <file>]
 //                             [--jobs <N>]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -68,6 +69,10 @@ struct CellSpec {
   /// quorum (some shard keeps both replicas in one pod).
   bool placement_cell = false;
   bool pod_aware = false;
+  /// Proactive backup paths (docs/ROUTING.md): precompute disjoint alternates
+  /// and promote on failure instead of probing. The --compare mode runs each
+  /// scenario with this off and on and gates on the TTFR improvement.
+  bool proactive = false;
 };
 
 struct CellResult {
@@ -87,6 +92,10 @@ struct CellResult {
   int quorum_expected = -1;
   bool quorum_held = true;
   std::uint64_t shards_no_live_replica = 0;
+  /// Proactive-backup mapper totals summed over all nodes (compare mode).
+  std::uint64_t backup_promotions = 0;
+  std::uint64_t backup_stale_rejections = 0;
+  std::uint64_t backup_replenish_probes = 0;
 };
 
 /// The scenario DSL text for `name` on an `n`-host Figure-2 fabric. Link 0
@@ -196,6 +205,16 @@ std::string placement_scenario_text(const std::string& name,
          "\n";
 }
 
+/// Median of the per-destination TTFR samples (0 when none). The median, not
+/// the max, is the headline: a single stale-backup fallback legitimately
+/// probes and should not hide the promoted majority.
+sim::Duration median_ttfr(const chaos::RecoveryReport& rec) {
+  if (rec.ttfr_dest.empty()) return 0;
+  std::vector<sim::Duration> v = rec.ttfr_dest;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
 CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
                     double rate_rps, std::size_t num_clients,
                     bool want_metrics) {
@@ -210,6 +229,7 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   // hours-long jobs); scenario timings above are calibrated against this.
   rc.cluster.rel.fail_threshold = sim::milliseconds(10);
   rc.cluster.rel.fail_min_rounds = 8;
+  rc.cluster.ondemand.proactive_backup = spec.proactive;
   if (spec.placement_cell) {
     // Placement cells run the full production membership stack: SWIM gossip
     // on every host (confirm -> firmware exclusion -> client dead-hook
@@ -294,6 +314,12 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t total_requests,
   r.recovery = monitor.report();
   r.audit = kv::audit(*rig.map, rig.server_view(), traffic.shadow());
   r.event_log = engine.log_text();
+  for (std::size_t i = 0; i < rig.c.size(); ++i) {
+    const auto& ms = rig.c.mapper(i).stats();
+    r.backup_promotions += ms.backup_promotions;
+    r.backup_stale_rejections += ms.backup_stale_rejections;
+    r.backup_replenish_probes += ms.backup_replenish_probes;
+  }
 
   chaos::InvariantInput in;
   in.audit_clean = r.audit.ok();
@@ -338,10 +364,12 @@ bool write_json(const char* path, const std::vector<CellResult>& rows) {
         f,
         "  {\"scenario\": \"%s\", \"hosts\": %zu, \"issued\": %llu, "
         "\"ok\": %llu, \"failed\": %llu, \"goodput_rps\": %.1f, "
-        "\"availability\": %.6f, \"ttfr_first_ns\": %llu, "
+        "\"availability\": %.6f, \"proactive\": %s, \"ttfr_first_ns\": %llu, "
         "\"ttfr_max_ns\": %llu, \"ttfr_samples\": %llu, "
+        "\"ttfr_dest_samples\": %llu, \"ttfr_dest_median_ns\": %llu, "
         "\"gen_restarts\": %llu, \"remap_convergences\": %llu, "
-        "\"remap_conv_max_ns\": %llu, \"retrans_amplification\": %.4f, "
+        "\"remap_conv_max_ns\": %llu, \"remap_conv_promoted\": %llu, "
+        "\"remap_conv_probed\": %llu, \"retrans_amplification\": %.4f, "
         "\"goodput_dip_area\": %.1f, \"nic_resets\": %llu, "
         "\"audit_ok\": %s, \"invariant_violations\": %zu, "
         "\"placement\": \"%s\", \"quorum_expected\": %d, "
@@ -350,12 +378,17 @@ bool write_json(const char* path, const std::vector<CellResult>& rows) {
         static_cast<unsigned long long>(r.issued),
         static_cast<unsigned long long>(r.ok),
         static_cast<unsigned long long>(r.failed), r.goodput_rps,
-        r.availability, static_cast<unsigned long long>(rec.ttfr_first),
+        r.availability, r.spec.proactive ? "true" : "false",
+        static_cast<unsigned long long>(rec.ttfr_first),
         static_cast<unsigned long long>(rec.ttfr_max),
         static_cast<unsigned long long>(rec.ttfr_samples),
+        static_cast<unsigned long long>(rec.ttfr_dest_samples),
+        static_cast<unsigned long long>(median_ttfr(rec)),
         static_cast<unsigned long long>(rec.gen_restarts),
         static_cast<unsigned long long>(rec.remap_convergences),
         static_cast<unsigned long long>(rec.remap_conv_max),
+        static_cast<unsigned long long>(rec.remap_conv_promoted),
+        static_cast<unsigned long long>(rec.remap_conv_probed),
         rec.retrans_amplification(), rec.goodput_dip_area,
         static_cast<unsigned long long>(rec.nic_resets),
         r.audit.ok() ? "true" : "false", r.violations.size(),
@@ -416,6 +449,7 @@ bool write_log(const char* path, const std::vector<CellResult>& rows) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool scale = false;
+  bool compare = false;
   unsigned jobs = 1;
   const char* json_path = nullptr;
   const char* metrics_path = nullptr;
@@ -425,6 +459,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--scale") == 0) {
       scale = true;
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      compare = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
@@ -433,16 +469,16 @@ int main(int argc, char** argv) {
       log_path = argv[++i];
     } else if (!bench::parse_jobs_flag(i, argc, argv, jobs)) {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--scale] [--json <file>] "
+                   "usage: %s [--quick] [--scale] [--compare] [--json <file>] "
                    "[--metrics-json <file>] [--log <file>] [--jobs <N>]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  const std::uint64_t total_requests = (quick || scale) ? 1500 : 6000;
-  const double rate_rps = (quick || scale) ? 50000 : 100000;
-  const std::size_t num_clients = (quick || scale) ? 64 : 250;
+  const std::uint64_t total_requests = (quick || scale || compare) ? 1500 : 6000;
+  const double rate_rps = (quick || scale || compare) ? 50000 : 100000;
+  const std::size_t num_clients = (quick || scale || compare) ? 64 : 250;
 
   // The 64-host k=8 fat-tree cells: kill one spine crossbar, and partition a
   // server, at scale. Both outlive the permanent-failure threshold, so clean
@@ -460,8 +496,32 @@ int main(int argc, char** argv) {
   // CI smoke + determinism gate). Scale: just the 64-host Clos cells, at
   // quick workload intensity. Full: every scenario on every Figure-2 size,
   // plus the scale cells.
+  // --compare: each scenario twice — the on-demand baseline and the
+  // proactive-backup mapper — on the Figure-2 16-host and Clos 64-host
+  // fabrics (docs/EXPERIMENTS.md "TTFR comparison sweep"). Gated below:
+  // on link-kill cells the proactive median per-destination TTFR must be
+  // strictly lower, and retransmission amplification must be no worse
+  // anywhere. partition-heal is the deliberate non-win control: the victim's
+  // access link is its only attachment, every backup is stale at promote
+  // time, and recovery must correctly fall back to probing.
+  const std::vector<CellSpec> compare_specs = {
+      {"link-kill", 16, true, true},
+      {"partition-heal", 16, true, true},
+      {"link-kill", 64, true, true, harness::TopoKind::kClos},
+      {"spine-death", 64, true, true, harness::TopoKind::kClos},
+  };
+
   std::vector<CellSpec> specs;
-  if (quick) {
+  if (compare) {
+    for (const CellSpec& base : compare_specs) {
+      CellSpec od = base;
+      od.proactive = false;
+      specs.push_back(od);
+      CellSpec pro = base;
+      pro.proactive = true;
+      specs.push_back(pro);
+    }
+  } else if (quick) {
     specs = {
         {"link-kill", 8, true, true},
         {"flap-train", 8, true, false},
@@ -506,32 +566,95 @@ int main(int argc, char** argv) {
   const std::vector<CellResult> rows =
       bench::run_cells<CellResult>(jobs, cells);
 
-  harness::Table t({"Scenario", "Hosts", "Goodput(rps)", "Avail", "TTFR(us)",
-                    "RemapConv(us)", "GenRestarts", "RetxAmp", "DipArea",
-                    "Quorum", "Audit", "Invariants"});
-  for (const CellResult& r : rows) {
-    const auto& rec = r.recovery;
-    t.add_row({r.spec.scenario, std::to_string(r.spec.hosts),
-               harness::fmt(r.goodput_rps, 0),
-               harness::fmt(r.availability, 4),
-               rec.ttfr_samples > 0
-                   ? harness::fmt(sim::to_micros(rec.ttfr_first), 1)
-                   : "-",
-               rec.remap_convergences > 0
-                   ? harness::fmt(sim::to_micros(rec.remap_conv_max), 1)
-                   : "-",
-               std::to_string(rec.gen_restarts),
-               harness::fmt(rec.retrans_amplification(), 3),
-               harness::fmt(rec.goodput_dip_area, 0),
-               !r.spec.placement_cell ? "-"
-               : r.quorum_held        ? "held"
-                                      : "lost",
-               r.audit.ok() ? "OK" : "FAIL",
-               r.violations.empty() ? "OK" : "FAIL"});
-  }
-  t.print();
-
   bool all_ok = true;
+  if (compare) {
+    // Pairwise view: rows alternate on-demand / proactive per scenario.
+    harness::Table t({"Scenario", "Hosts", "Mapper", "TTFRmed(us)",
+                      "TTFRdest", "Promoted", "Probed", "StaleRej", "RetxAmp",
+                      "Audit", "Invariants"});
+    for (const CellResult& r : rows) {
+      const auto& rec = r.recovery;
+      t.add_row({r.spec.scenario, std::to_string(r.spec.hosts),
+                 r.spec.proactive ? "proactive" : "on-demand",
+                 rec.ttfr_dest_samples > 0
+                     ? harness::fmt(sim::to_micros(median_ttfr(rec)), 1)
+                     : "-",
+                 std::to_string(rec.ttfr_dest_samples),
+                 std::to_string(rec.remap_conv_promoted),
+                 std::to_string(rec.remap_conv_probed),
+                 std::to_string(r.backup_stale_rejections),
+                 harness::fmt(rec.retrans_amplification(), 3),
+                 r.audit.ok() ? "OK" : "FAIL",
+                 r.violations.empty() ? "OK" : "FAIL"});
+    }
+    t.print();
+
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+      const CellResult& od = rows[i];
+      const CellResult& pro = rows[i + 1];
+      const sim::Duration m_od = median_ttfr(od.recovery);
+      const sim::Duration m_pro = median_ttfr(pro.recovery);
+      const bool is_link_kill =
+          std::strcmp(od.spec.scenario, "link-kill") == 0;
+      if (is_link_kill) {
+        // The headline gate: promotion moves the probe storm off the
+        // failover critical path, so the median per-destination TTFR must
+        // strictly beat the probing baseline on every link-kill cell.
+        if (m_od == 0 || m_pro == 0 || m_pro >= m_od) {
+          std::printf(
+              "COMPARE GATE FAILED [%s/%zu]: proactive median TTFR %.1f us "
+              "not strictly below on-demand %.1f us\n",
+              od.spec.scenario, od.spec.hosts, sim::to_micros(m_pro),
+              sim::to_micros(m_od));
+          all_ok = false;
+        }
+        if (pro.recovery.remap_conv_promoted == 0) {
+          std::printf(
+              "COMPARE GATE FAILED [%s/%zu]: no promoted remap convergence "
+              "(backups never used)\n",
+              od.spec.scenario, od.spec.hosts);
+          all_ok = false;
+        }
+      }
+      // Promotion must not pay for speed with duplicate traffic: the
+      // retransmission amplification may not regress (small slack for
+      // timing-shift noise between the two runs).
+      const double amp_od = od.recovery.retrans_amplification();
+      const double amp_pro = pro.recovery.retrans_amplification();
+      if (amp_pro > amp_od * 1.05 + 0.005) {
+        std::printf(
+            "COMPARE GATE FAILED [%s/%zu]: retransmission amplification "
+            "regressed (%.4f -> %.4f)\n",
+            od.spec.scenario, od.spec.hosts, amp_od, amp_pro);
+        all_ok = false;
+      }
+    }
+  } else {
+    harness::Table t({"Scenario", "Hosts", "Goodput(rps)", "Avail", "TTFR(us)",
+                      "RemapConv(us)", "GenRestarts", "RetxAmp", "DipArea",
+                      "Quorum", "Audit", "Invariants"});
+    for (const CellResult& r : rows) {
+      const auto& rec = r.recovery;
+      t.add_row({r.spec.scenario, std::to_string(r.spec.hosts),
+                 harness::fmt(r.goodput_rps, 0),
+                 harness::fmt(r.availability, 4),
+                 rec.ttfr_samples > 0
+                     ? harness::fmt(sim::to_micros(rec.ttfr_first), 1)
+                     : "-",
+                 rec.remap_convergences > 0
+                     ? harness::fmt(sim::to_micros(rec.remap_conv_max), 1)
+                     : "-",
+                 std::to_string(rec.gen_restarts),
+                 harness::fmt(rec.retrans_amplification(), 3),
+                 harness::fmt(rec.goodput_dip_area, 0),
+                 !r.spec.placement_cell ? "-"
+                 : r.quorum_held        ? "held"
+                                        : "lost",
+                 r.audit.ok() ? "OK" : "FAIL",
+                 r.violations.empty() ? "OK" : "FAIL"});
+    }
+    t.print();
+  }
   for (const CellResult& r : rows) {
     for (const std::string& v : r.violations) {
       std::printf("INVARIANT VIOLATION [%s/%zu hosts]: %s\n", r.spec.scenario,

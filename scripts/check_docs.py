@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Link, anchor, and coverage checker for the repo's markdown docs.
+
+Three checks, all blocking (scripts/verify.sh and CI run this):
+
+  1. Every relative markdown link resolves to an existing file or
+     directory (http(s)/mailto links are not fetched).
+  2. Every anchor (`file.md#heading` or in-page `#heading`) names a real
+     heading in the target file, using GitHub's slug rules (lowercase,
+     punctuation stripped, spaces to hyphens, duplicate slugs suffixed
+     -1, -2, ...).
+  3. Every `src/<module>` directory has an entry in docs/ARCHITECTURE.md,
+     so the layered map cannot silently go stale when a subsystem lands.
+
+Fenced code blocks are ignored on both sides: a `# comment` inside a
+```sh block is not a heading, and example links inside fences are not
+checked.
+
+Usage: check_docs.py [repo-root]     (default: the repo containing this
+script). Exit status: 0 = clean, 1 = problems found (each printed with
+file and line).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".claude", "third_party"}
+
+# [text](target) that is not an image and whose target is not nested
+# parens; good enough for the hand-written docs in this repo.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def find_markdown(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build"))
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def strip_inline_markup(text):
+    """Heading text -> the plain text GitHub slugifies."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)              # code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.replace("**", "").replace("__", "")
+    text = re.sub(r"(?<!\w)[*_](\S[^*_]*)[*_](?!\w)", r"\1", text)
+    return text
+
+
+def github_slug(text):
+    text = strip_inline_markup(text).strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text)   # drop punctuation, keep _ and -
+    text = text.replace(" ", "-")          # every space, not runs: GitHub
+    return text                            # keeps consecutive hyphens
+
+
+def scan_file(path):
+    """Return (slugs, links) for one markdown file; links are
+    (lineno, target) with fenced code blocks skipped on both sides."""
+    slugs = set()
+    counts = {}
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+            for lm in LINK_RE.finditer(line):
+                links.append((lineno, lm.group(1)))
+    return slugs, links
+
+
+def check_links(root, md_files):
+    slugs_by_file = {}
+    links_by_file = {}
+    for path in md_files:
+        slugs_by_file[path], links_by_file[path] = scan_file(path)
+
+    problems = []
+    for path, links in links_by_file.items():
+        rel = os.path.relpath(path, root)
+        for lineno, target in links:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            target, _, anchor = target.partition("#")
+            if target:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+            else:
+                dest = path  # in-page anchor
+            if not os.path.exists(dest):
+                problems.append(f"{rel}:{lineno}: broken link "
+                                f"'{target}' (no such file)")
+                continue
+            if anchor:
+                if dest not in slugs_by_file:
+                    if dest.endswith(".md"):
+                        # .md outside the scan set (should not happen)
+                        slugs_by_file[dest] = scan_file(dest)[0]
+                    else:
+                        problems.append(
+                            f"{rel}:{lineno}: anchor '#{anchor}' on "
+                            f"non-markdown target '{target}'")
+                        continue
+                if anchor not in slugs_by_file[dest]:
+                    problems.append(
+                        f"{rel}:{lineno}: anchor '#{anchor}' not found in "
+                        f"'{target or os.path.basename(dest)}'")
+    return problems
+
+
+def check_architecture_coverage(root):
+    problems = []
+    arch_path = os.path.join(root, "docs", "ARCHITECTURE.md")
+    src_dir = os.path.join(root, "src")
+    if not os.path.isfile(arch_path):
+        return ["docs/ARCHITECTURE.md is missing"]
+    with open(arch_path, encoding="utf-8") as f:
+        arch = f.read()
+    for module in sorted(os.listdir(src_dir)):
+        if not os.path.isdir(os.path.join(src_dir, module)):
+            continue
+        if f"src/{module}" not in arch:
+            problems.append(
+                f"docs/ARCHITECTURE.md: no entry for 'src/{module}' — "
+                "add the module to the layered map")
+    return problems
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    md_files = find_markdown(root)
+    problems = check_links(root, md_files)
+    problems += check_architecture_coverage(root)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) across "
+              f"{len(md_files)} markdown file(s)")
+        return 1
+    print(f"check_docs: OK ({len(md_files)} markdown files, links + "
+          "anchors resolve, ARCHITECTURE.md covers every src/ module)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,11 @@ COST_PREFIXES = (
     "mapper.probe_timeouts",
     "mapper.probe_budget_exhausted",
     "mapper.path_cache_evictions",   # growth = cache thrash on this sweep
+    # Proactive backup paths (docs/ROUTING.md): more backups found dead at
+    # promote time, or more background verification traffic, for the same
+    # fault campaign means the backups got staler or churnier.
+    "mapper.backup_stale_rejections",
+    "mapper.backup_replenish_probes",
     "nic.crc_failures",
     "nic.injection_stalls",
     "fabric.dropped_",          # all fabric drop classes
@@ -73,7 +78,9 @@ COST_PREFIXES = (
     "chaos.remap_unconverged",
     "chaos.remap_failures",
     "chaos.ttfr_max_ns",
+    "chaos.ttfr_dest_max_ns",
     "chaos.remap_conv_max_ns",
+    "chaos.remap_conv_from_fault_max_ns",
     "chaos.retrans_amplification_milli",
     "chaos.goodput_dip_area_milli",
     # Membership (src/membership, docs/OBSERVABILITY.md): more missed direct
@@ -98,11 +105,13 @@ GOODPUT_PREFIXES = (
     "vmmc.deposits_rx",
     "mapper.mappings_succeeded",
     "mapper.path_cache_hits",        # shrink = cache stopped serving routes
+    "mapper.backup_promotions",      # shrink = failovers stopped being O(1)
     # Chaos recovery: fewer observed recoveries for the same campaign means
     # the protocol stopped demonstrating them.
     "chaos.data_deliveries",
     "chaos.remap_convergences",
     "chaos.ttfr_samples",
+    "chaos.ttfr_dest_samples",
     # Membership: fewer acked probes means probing stopped reaching members;
     # fewer confirms for the same kill campaign means detection stopped.
     "membership.acks_rx",

@@ -36,6 +36,11 @@ for arg in "$@"; do
   esac
 done
 
+# Docs gate (cheap, so it runs first): every markdown link and anchor must
+# resolve and docs/ARCHITECTURE.md must cover every src/ module. Blocking
+# in quick and full modes alike.
+python3 scripts/check_docs.py
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
@@ -74,6 +79,14 @@ if [[ "$QUICK" == 0 ]]; then
   cmp build/chaos_quick_metrics.json build/chaos_quick2_metrics.json
   cmp build/chaos_quick_events.log build/chaos_quick2_events.log
   echo "chaos determinism OK: double run bit-identical"
+
+  # Proactive-failover gate (docs/ROUTING.md, EXPERIMENTS.md "Failover cost
+  # and TTFR"): every scenario runs as an on-demand/proactive pair; the
+  # binary exits nonzero unless proactive median per-destination TTFR is
+  # strictly lower on each link-kill cell (with promoted convergences
+  # observed) and retransmission amplification regresses nowhere.
+  echo "--- failover compare gate: bench_chaos --compare"
+  ./build/bench/bench_chaos --compare --jobs "$(nproc)"
 fi
 
 # Membership gate: the SWIM sweep (docs/OBSERVABILITY.md membership.*) must

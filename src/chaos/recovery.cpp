@@ -29,12 +29,17 @@ void RecoveryMonitor::on_fault(const net::FaultEvent& ev) {
     if (report_.first_disruption_at == sim::kNever) {
       report_.first_disruption_at = now;
     }
+    last_fault_at_ = now;
     // One time-to-first-redelivery sample per disruption burst: the clock
     // starts at the first kill and stops at the first retransmitted
     // delivery; further kills before that delivery extend the same burst.
+    // Per-destination sampling is burst-relative too: a new burst opens a
+    // fresh recovery ledger for every channel.
     if (!awaiting_redelivery_) {
       awaiting_redelivery_ = true;
+      any_burst_ = true;
       disruption_at_ = now;
+      dest_recovered_.clear();
     }
   } else if (is_heal(ev.kind)) {
     ++report_.heals;
@@ -58,6 +63,13 @@ void RecoveryMonitor::on_delivery(const net::Packet& pkt, net::HostId) {
         const sim::Duration conv = now - g->second.restarted_at;
         ++report_.remap_convergences;
         report_.remap_conv_max = std::max(report_.remap_conv_max, conv);
+        report_.remap_conv_from_fault_max = std::max(
+            report_.remap_conv_from_fault_max, now - g->second.fault_at);
+        if (g->second.promoted) {
+          ++report_.remap_conv_promoted;
+        } else {
+          ++report_.remap_conv_probed;
+        }
         ch->second.erase(g);
         if (ch->second.empty()) pending_gens_.erase(ch);
       }
@@ -71,6 +83,19 @@ void RecoveryMonitor::on_delivery(const net::Packet& pkt, net::HostId) {
       if (report_.ttfr_samples == 0) report_.ttfr_first = ttfr;
       report_.ttfr_max = std::max(report_.ttfr_max, ttfr);
       ++report_.ttfr_samples;
+    }
+    // Per-destination: each (src, dst) pair's first retransmitted delivery
+    // since the burst start is its own sample, so one fast channel (e.g.
+    // one whose remap was served from the path cache) cannot absorb the
+    // whole burst's measurement and hide slower destinations.
+    if (any_burst_ && now >= disruption_at_) {
+      const auto key = std::make_pair(pkt.hdr.src.v, pkt.hdr.dst.v);
+      if (dest_recovered_.insert(key).second) {
+        const sim::Duration ttfr = now - disruption_at_;
+        ++report_.ttfr_dest_samples;
+        report_.ttfr_dest_max = std::max(report_.ttfr_dest_max, ttfr);
+        report_.ttfr_dest.push_back(ttfr);
+      }
     }
   }
 }
@@ -93,7 +118,13 @@ void RecoveryMonitor::on_fw_event(const firmware::FwEvent& ev) {
         if (ev.gen <= it->second) report_.gen_regressed = true;
       }
       last_gen_[key] = ev.gen;
-      pending_gens_[key][ev.gen] = PendingGen{sched_.now()};
+      // Anchor the fault-relative convergence clock at the most recent
+      // disruptive transition (a restart with no fault observed — e.g. a
+      // pure drop-plan run — anchors at the restart itself).
+      const sim::Time fault_at =
+          last_fault_at_ == 0 ? sched_.now() : last_fault_at_;
+      pending_gens_[key][ev.gen] = PendingGen{sched_.now(), fault_at,
+                                              ev.promoted};
       break;
     }
     case firmware::FwEvent::Kind::kNicReset:
@@ -147,6 +178,12 @@ void RecoveryMonitor::finalize() {
   c("chaos.ttfr_samples", "events", report_.ttfr_samples);
   c("chaos.ttfr_first_ns", "ns", report_.ttfr_first);
   c("chaos.ttfr_max_ns", "ns", report_.ttfr_max);
+  c("chaos.ttfr_dest_samples", "events", report_.ttfr_dest_samples);
+  c("chaos.ttfr_dest_max_ns", "ns", report_.ttfr_dest_max);
+  c("chaos.remap_conv_from_fault_max_ns", "ns",
+    report_.remap_conv_from_fault_max);
+  c("chaos.remap_conv_promoted", "events", report_.remap_conv_promoted);
+  c("chaos.remap_conv_probed", "events", report_.remap_conv_probed);
   c("chaos.gen_restarts", "events", report_.gen_restarts);
   c("chaos.remap_convergences", "events", report_.remap_convergences);
   c("chaos.remap_unconverged", "events", report_.remap_unconverged);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,11 +50,29 @@ struct RecoveryReport {
   sim::Duration ttfr_first = 0;  // the first burst's recovery time
   sim::Duration ttfr_max = 0;
 
+  // Per-destination time-to-first-redelivery: within a burst, every (src,
+  // dst) pair samples its *own* first retransmitted delivery against the
+  // burst start. The single global sample above stops at whichever channel
+  // recovers first — typically one served from the mapper's path cache —
+  // which masked slow destinations entirely (see docs/CHAOS.md).
+  std::uint64_t ttfr_dest_samples = 0;
+  sim::Duration ttfr_dest_max = 0;
+  std::vector<sim::Duration> ttfr_dest;  // all samples (bench medians)
+
   // Remap convergence (one sample per observed generation restart).
   std::uint64_t gen_restarts = 0;
   std::uint64_t remap_convergences = 0;
   std::uint64_t remap_unconverged = 0;  // restarts with no later delivery
   sim::Duration remap_conv_max = 0;
+  /// Convergence measured from the fault transition that caused the restart
+  /// (not from the restart itself): a restart pre-answered from the path
+  /// cache converges "instantly" by the restart-relative clock while the
+  /// application still waited out the whole detection threshold.
+  sim::Duration remap_conv_from_fault_max = 0;
+  /// Convergences split by how the remap was answered (FwEvent::promoted):
+  /// backup-path promotion vs a fresh probe run.
+  std::uint64_t remap_conv_promoted = 0;
+  std::uint64_t remap_conv_probed = 0;
   bool gen_regressed = false;  // a generation number moved backwards
 
   // Firmware recovery machinery totals (summed over nodes).
@@ -105,10 +124,17 @@ class RecoveryMonitor {
   RecoveryReport report_;
   bool finalized_ = false;
   bool awaiting_redelivery_ = false;
+  bool any_burst_ = false;     // a disruption burst has ever started
   sim::Time disruption_at_ = 0;
+  sim::Time last_fault_at_ = 0;  // most recent disruptive transition
+  /// (src, dst) pairs that already produced their per-destination TTFR
+  /// sample for the current burst; reset when a new burst starts.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dest_recovered_;
   std::vector<std::uint64_t> window_counts_;  // data deliveries per window
   struct PendingGen {
     sim::Time restarted_at;
+    sim::Time fault_at = 0;  // the disruption this restart recovers from
+    bool promoted = false;   // answered by backup promotion, not probing
   };
   // (src, dst) channel -> generation restarts awaiting their first delivery.
   std::map<std::pair<std::uint32_t, std::uint32_t>,

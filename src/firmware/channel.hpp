@@ -34,6 +34,10 @@ struct TxChannel {
   bool remap_in_flight = false;
   /// When the in-flight remap was requested (remap-latency observability).
   sim::Time remap_started = 0;
+  /// The in-flight remap was pre-answered by a backup-path promotion (the
+  /// mapper's on_path_failure returned true); propagated into the FwEvents
+  /// this remap publishes so observers can attribute recovery latency.
+  bool remap_promoted = false;
   bool unreachable = false;
 };
 

@@ -30,7 +30,16 @@ class MapperIface {
   /// The reliability protocol declared the path to `dst` permanently failed.
   /// Mappers that cache discovered routes must invalidate that entry before
   /// the request_route that follows, or they would re-serve the dead path.
-  virtual void on_path_failure(net::HostId /*dst*/) {}
+  /// Returns true when the mapper promoted a precomputed backup route in
+  /// place of the dead primary (proactive alternate paths): the request_route
+  /// that follows is then served from cache in one step, no probing.
+  virtual bool on_path_failure(net::HostId /*dst*/) { return false; }
+
+  /// Cluster membership confirmed `dst` itself dead (not just the path).
+  /// Unlike on_path_failure there is nothing to fail over to — a backup
+  /// route to a corpse is as useless as the primary — so mappers drop every
+  /// cached slot for the destination unconditionally.
+  virtual void on_peer_dead(net::HostId /*dst*/) {}
 
   /// The NIC firmware restarted (chaos nic_reset): volatile discovery state
   /// (caches, attach-port knowledge) is gone.

@@ -25,6 +25,11 @@ struct ProbeResult {
 /// add no measurable path diversity but do add per-mapping memory.
 constexpr std::size_t kMaxAltForwards = 8;
 
+/// Extra salt stirred into the backup-path tie-breaker so the backup pick is
+/// a different deterministic stream than the primary multipath pick (a backup
+/// that mirrors the multipath choice would not be an alternate at all).
+constexpr std::uint64_t kBackupSaltTweak = 0xA17EB5A17Eull;
+
 }  // namespace
 
 // --- PathCache (LRU) --------------------------------------------------------
@@ -33,7 +38,7 @@ const Route* OnDemandMapper::PathCache::get(HostId h) {
   auto it = idx_.find(h);
   if (it == idx_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
-  return &it->second->second;
+  return &it->second->primary;
 }
 
 void OnDemandMapper::PathCache::put(HostId h, Route r,
@@ -41,16 +46,18 @@ void OnDemandMapper::PathCache::put(HostId h, Route r,
   if (cap_ == 0) return;
   auto it = idx_.find(h);
   if (it != idx_.end()) {
-    it->second->second = std::move(r);
+    Entry& e = *it->second;
+    if (e.primary != r) e.backup.reset();  // backup was disjoint from the old
+    e.primary = std::move(r);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= cap_) {
-    idx_.erase(lru_.back().first);
+    idx_.erase(lru_.back().host);
     lru_.pop_back();
     if (evictions != nullptr) ++*evictions;
   }
-  lru_.emplace_front(h, std::move(r));
+  lru_.emplace_front(Entry{h, std::move(r), std::nullopt});
   idx_[h] = lru_.begin();
 }
 
@@ -65,6 +72,38 @@ bool OnDemandMapper::PathCache::erase(HostId h) {
 void OnDemandMapper::PathCache::clear() {
   lru_.clear();
   idx_.clear();
+}
+
+void OnDemandMapper::PathCache::set_backup(HostId h, net::AltRoute alt) {
+  auto it = idx_.find(h);
+  if (it == idx_.end()) return;
+  it->second->backup = std::move(alt);
+}
+
+const std::optional<net::AltRoute>* OnDemandMapper::PathCache::backup(
+    HostId h) const {
+  return peek_backup(h);
+}
+
+bool OnDemandMapper::PathCache::promote(HostId h) {
+  auto it = idx_.find(h);
+  if (it == idx_.end() || !it->second->backup) return false;
+  Entry& e = *it->second;
+  e.primary = std::move(e.backup->route);
+  e.backup.reset();
+  lru_.splice(lru_.begin(), lru_, it->second);  // a promotion is a use
+  return true;
+}
+
+const Route* OnDemandMapper::PathCache::peek(HostId h) const {
+  auto it = idx_.find(h);
+  return it == idx_.end() ? nullptr : &it->second->primary;
+}
+
+const std::optional<net::AltRoute>* OnDemandMapper::PathCache::peek_backup(
+    HostId h) const {
+  auto it = idx_.find(h);
+  return it == idx_.end() ? nullptr : &it->second->backup;
 }
 
 // --- OnDemandMapper ---------------------------------------------------------
@@ -105,6 +144,20 @@ OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)
         .set(s.probe_budget_exhausted);
     reg.counter("mapper.multipath_candidates" + node, "routes")
         .set(s.multipath_candidates);
+    reg.counter("mapper.backup_computed" + node, "backups")
+        .set(s.backup_computed);
+    reg.counter("mapper.backup_promotions" + node, "promotions")
+        .set(s.backup_promotions);
+    reg.counter("mapper.backup_stale_rejections" + node, "rejections")
+        .set(s.backup_stale_rejections);
+    reg.counter("mapper.backup_replenish_probes" + node, "probes")
+        .set(s.backup_replenish_probes);
+    reg.counter("mapper.backup_node_disjoint" + node, "backups")
+        .set(s.backup_node_disjoint);
+    reg.counter("mapper.backup_link_disjoint" + node, "backups")
+        .set(s.backup_link_disjoint);
+    reg.counter("mapper.backup_overlapping" + node, "backups")
+        .set(s.backup_overlapping);
   });
 }
 
@@ -126,19 +179,144 @@ void OnDemandMapper::invalidate_path(HostId dst) {
   if (path_cache_.erase(dst)) ++stats_.path_cache_invalidations;
 }
 
-void OnDemandMapper::on_path_failure(HostId dst) {
-  invalidate_path(dst);
+bool OnDemandMapper::on_path_failure(HostId dst) {
+  // Proactive alternate paths: a live backup replaces the dead primary in
+  // place, and the request_route that follows is a cache hit — the probe
+  // storm moves off the failover critical path (docs/ROUTING.md).
+  const bool promoted = promote_backup(dst);
+  if (promoted) {
+    ++stats_.path_cache_invalidations;  // the failed primary is gone either way
+  } else {
+    invalidate_path(dst);
+  }
   // A mapping already running for dst raced the failure report. Let it
   // finish (its callbacks may still want the answer) but poison its result:
   // caching it would re-install a route discovered before — possibly over —
   // the path that just died, which a later report would then invalidate a
-  // second time (double-counted invalidations for one failure).
+  // second time (double-counted invalidations for one failure). When the
+  // failure was served by a promotion, the promoted entry must additionally
+  // win over the stale BFS result (drive() serves it to the callbacks).
+  if (active_dst_ && *active_dst_ == dst) {
+    active_invalidated_ = true;
+    active_promoted_ = promoted;
+  }
+  return promoted;
+}
+
+void OnDemandMapper::on_peer_dead(HostId dst) {
+  // Membership declared the node itself dead: a backup route to a corpse is
+  // as dead as the primary, so both slots drop unconditionally — never
+  // promote here.
+  invalidate_path(dst);
   if (active_dst_ && *active_dst_ == dst) active_invalidated_ = true;
 }
 
 void OnDemandMapper::flush_cache() {
   attach_port_.reset();
   path_cache_.clear();
+}
+
+void OnDemandMapper::seed_cache(HostId dst, const Route& r) {
+  if (cfg_.path_cache_capacity == 0) return;
+  path_cache_.put(dst, r, &stats_.path_cache_evictions);
+  fill_backup(dst);
+}
+
+std::uint64_t OnDemandMapper::backup_salt(HostId dst) const {
+  return cfg_.multipath_salt ^ kBackupSaltTweak ^
+         (0x9E3779B97F4A7C15ull * (nic_.self().v + 1)) ^
+         (0xC2B2AE3D27D4EB4Full * (dst.v + 1));
+}
+
+void OnDemandMapper::fill_backup(HostId dst) {
+  if (!cfg_.proactive_backup || cfg_.radix_oracle == nullptr) return;
+  const Route* primary = path_cache_.peek(dst);
+  if (primary == nullptr) return;
+  const std::optional<net::AltRoute>* slot = path_cache_.peek_backup(dst);
+  if (slot != nullptr && slot->has_value()) return;  // already provisioned
+  auto alt = cfg_.radix_oracle->disjoint_route(nic_.self(), dst, *primary,
+                                               backup_salt(dst));
+  // Disjointness can be impossible (both hosts on one crossbar, or a chain
+  // fabric with no way around): degrade gracefully to a backup-less entry —
+  // failures for this destination fall back to probing.
+  if (!alt) return;
+  switch (alt->cls) {
+    case net::DisjointClass::kNodeDisjoint: ++stats_.backup_node_disjoint; break;
+    case net::DisjointClass::kLinkDisjoint: ++stats_.backup_link_disjoint; break;
+    case net::DisjointClass::kOverlapping: ++stats_.backup_overlapping; break;
+  }
+  ++stats_.backup_computed;
+  path_cache_.set_backup(dst, std::move(*alt));
+}
+
+bool OnDemandMapper::promote_backup(HostId dst) {
+  if (!cfg_.proactive_backup || cfg_.radix_oracle == nullptr) return false;
+  const std::optional<net::AltRoute>* slot = path_cache_.backup(dst);
+  if (slot == nullptr || !slot->has_value()) return false;
+  const Route backup = (*slot)->route;
+  // The fault that killed the primary may have hit the backup too (or the
+  // backup aged past an unrelated fault). Validate it end-to-end against
+  // current up-state before trusting it — never deliver over a wrong route.
+  auto end = cfg_.radix_oracle->trace_route_up(nic_.self(), backup);
+  if (!end || *end != net::Device::host(dst)) {
+    ++stats_.backup_stale_rejections;
+    return false;  // caller drops the whole entry; next request re-probes
+  }
+  path_cache_.promote(dst);
+  ++stats_.backup_promotions;
+  // Refill the emptied backup slot off the critical path.
+  if (!replenishing_.contains(dst)) {
+    replenishing_[dst] = true;
+    replenish_backup(dst, backup);
+  }
+  return true;
+}
+
+sim::Process OnDemandMapper::replenish_backup(HostId dst, Route primary) {
+  auto& sched = nic_.sched();
+  // Deterministic yield: the promote that scheduled us unwinds first, so
+  // replenish work never extends the failure-handling critical path.
+  co_await sim::DelayFor{sched, 0};
+  // The entry may have vanished (evicted, peer died, nic reset) or been
+  // remapped while we were scheduled; a changed primary voids the premise
+  // the disjoint candidate would be computed against.
+  const Route* cur = path_cache_.peek(dst);
+  if (cur == nullptr || *cur != primary) {
+    replenishing_.erase(dst);
+    co_return;
+  }
+  auto alt = cfg_.radix_oracle->disjoint_route(nic_.self(), dst, primary,
+                                               backup_salt(dst));
+  if (!alt) {
+    replenishing_.erase(dst);
+    co_return;
+  }
+  // One host probe verifies the candidate end-to-end before it is trusted
+  // as a future promotion target (the oracle knows wiring, not transient
+  // fault state at packet granularity).
+  ++stats_.backup_replenish_probes;
+  HostId replier;
+  Route probe_route = alt->route;
+  const bool ok = co_await probe_and_wait_impl(PacketType::kProbeHost,
+                                               std::move(probe_route),
+                                               &replier);
+  const Route* cur2 = path_cache_.peek(dst);
+  if (ok && replier == dst && cur2 != nullptr && *cur2 == primary) {
+    switch (alt->cls) {
+      case net::DisjointClass::kNodeDisjoint:
+        ++stats_.backup_node_disjoint;
+        break;
+      case net::DisjointClass::kLinkDisjoint:
+        ++stats_.backup_link_disjoint;
+        break;
+      case net::DisjointClass::kOverlapping:
+        ++stats_.backup_overlapping;
+        break;
+    }
+    ++stats_.backup_computed;
+    path_cache_.set_backup(dst, std::move(*alt));
+  }
+  replenishing_.erase(dst);
 }
 
 void OnDemandMapper::request_route(HostId dst, RouteCallback cb) {
@@ -512,11 +690,14 @@ sim::Process OnDemandMapper::drive() {
     active_dst_ = req.dst;
     active_cbs_ = &req.cbs;
     active_invalidated_ = false;
+    active_promoted_ = false;
     std::optional<Route> result = co_await bfs(req.dst, &probes_used);
     const bool poisoned = active_invalidated_;
+    const bool promoted = active_promoted_;
     active_dst_.reset();
     active_cbs_ = nullptr;
     active_invalidated_ = false;
+    active_promoted_ = false;
 
     stats_.last_mapping_time = sched.now() - t0;
     stats_.mapping_time_total += stats_.last_mapping_time;
@@ -532,13 +713,24 @@ sim::Process OnDemandMapper::drive() {
     // A run poisoned by a concurrent on_path_failure is served but never
     // cached — including the entry bfs itself may have added when a probe
     // from the (possibly dead) path reached the destination in passing.
-    if (poisoned) path_cache_.erase(req.dst);
+    // Exception: when that failure was answered by a backup promotion, the
+    // promoted entry is the live truth — it must survive (no double-cache)
+    // and it, not the stale BFS result, answers the waiting callbacks.
+    if (poisoned && !promoted) {
+      path_cache_.erase(req.dst);
+    } else if (poisoned && promoted) {
+      if (const Route* cur = path_cache_.get(req.dst)) {
+        ++stats_.path_cache_hits;
+        result = *cur;
+      }
+    }
     if (result) {
       ++stats_.mappings_succeeded;
       // The requested destination is always cached (capacity permitting);
       // cache_discovered_hosts only governs hosts found in passing.
       if (cfg_.path_cache_capacity > 0 && !poisoned) {
         path_cache_.put(req.dst, *result, &stats_.path_cache_evictions);
+        fill_backup(req.dst);
       }
     } else {
       ++stats_.mappings_failed;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "firmware/mapper.hpp"
+#include "net/topology.hpp"
 #include "nic/nic.hpp"
 #include "sim/awaitables.hpp"
 #include "sim/process.hpp"
@@ -86,6 +87,19 @@ struct OnDemandMapperConfig {
   /// default: Table 3's methodology counts that traffic. Requires
   /// radix_oracle; ignored without it.
   bool configured_identity = false;
+  /// Proactive alternate paths (docs/ROUTING.md): whenever the requested
+  /// destination's primary route is installed in the path cache, precompute a
+  /// maximally link/node-disjoint backup (net::Topology::disjoint_route,
+  /// seeded from multipath_salt ^ (self, dst) so the pick is deterministic
+  /// and spread across sources) and store it in the entry's backup slot. A
+  /// later on_path_failure then *promotes* the backup in one step — no probe
+  /// storm on the critical path — after an up-state validation against the
+  /// radix_oracle topology (a backup sharing the dead element is rejected
+  /// and the mapping falls back to probing). The emptied backup slot is
+  /// replenished lazily in the background, verified by a single host probe.
+  /// Requires radix_oracle (same operator-knowledge assumption as
+  /// configured_identity); ignored without it.
+  bool proactive_backup = false;
 };
 
 struct OnDemandMapperStats {
@@ -111,6 +125,15 @@ struct OnDemandMapperStats {
   std::uint64_t probe_budget_exhausted = 0;
   /// Equal-cost candidate routes considered by multipath selection (summed).
   std::uint64_t multipath_candidates = 0;
+  /// Proactive backup paths (docs/ROUTING.md, `mapper.backup_*` metrics).
+  std::uint64_t backup_computed = 0;      // backup slots filled (any source)
+  std::uint64_t backup_promotions = 0;    // failures served by promote, 0 probes
+  std::uint64_t backup_stale_rejections = 0;  // backup dead at promote time
+  std::uint64_t backup_replenish_probes = 0;  // verification probes, replenish
+  /// Disjointness achieved by computed backups, by class.
+  std::uint64_t backup_node_disjoint = 0;
+  std::uint64_t backup_link_disjoint = 0;
+  std::uint64_t backup_overlapping = 0;
 };
 
 class OnDemandMapper final : public MapperIface {
@@ -126,7 +149,13 @@ class OnDemandMapper final : public MapperIface {
   /// detector and a membership exclusion often race). If a mapping for `dst`
   /// is in flight, its eventual result is also kept out of the cache — the
   /// discovery raced the failure, so the route it found may already be dead.
-  void on_path_failure(net::HostId dst) override;
+  /// With proactive_backup on, a cached entry carrying a live backup is
+  /// promoted instead of erased (returns true): the next request_route is a
+  /// cache hit on the promoted route, and a background replenish refills the
+  /// backup slot. A stale backup (dead per trace_route_up) is rejected and
+  /// the whole entry dropped — never deliver over a wrong route.
+  bool on_path_failure(net::HostId dst) override;
+  void on_peer_dead(net::HostId dst) override;
   void on_nic_reset() override { flush_cache(); }
 
   [[nodiscard]] const OnDemandMapperStats& stats() const { return stats_; }
@@ -139,6 +168,21 @@ class OnDemandMapper final : public MapperIface {
   /// changed wholesale).
   void flush_cache();
 
+  /// Preinstall a known-good route (an operator-configured static map) into
+  /// the path cache, computing its proactive backup when enabled. Rigs that
+  /// preload full route tables use this so the *first* failure can promote
+  /// instead of paying a cold probe storm.
+  void seed_cache(net::HostId dst, const net::Route& r);
+
+  /// Test introspection: non-touching peek at the cached primary / backup.
+  [[nodiscard]] const net::Route* cached_route(net::HostId dst) const {
+    return path_cache_.peek(dst);
+  }
+  [[nodiscard]] const std::optional<net::AltRoute>* cached_backup(
+      net::HostId dst) const {
+    return path_cache_.peek_backup(dst);
+  }
+
  private:
   /// A discovered crossbar: how to reach it and how its packets reach us.
   struct KnownSwitch {
@@ -150,13 +194,17 @@ class OnDemandMapper final : public MapperIface {
     std::vector<net::Route> alt_forwards;
   };
 
-  /// LRU map destination -> discovered route. Deterministic: ordering is the
-  /// explicit recency list, never unordered_map iteration.
+  /// LRU map destination -> discovered route, plus an optional precomputed
+  /// backup route per entry (proactive_backup). Both slots share one entry:
+  /// eviction, invalidation and flush drop them together. Deterministic:
+  /// ordering is the explicit recency list, never unordered_map iteration.
   class PathCache {
    public:
     explicit PathCache(std::size_t cap) : cap_(cap) {}
     /// Touches the entry (most-recently-used) and returns it, or nullptr.
     const net::Route* get(net::HostId h);
+    /// Installs/overwrites the primary; a changed primary drops the backup
+    /// (it was computed to be disjoint from the old one).
     void put(net::HostId h, net::Route r, std::uint64_t* evictions);
     bool erase(net::HostId h);
     [[nodiscard]] bool contains(net::HostId h) const {
@@ -164,8 +212,23 @@ class OnDemandMapper final : public MapperIface {
     }
     void clear();
 
+    /// Backup slot of an existing entry (no-ops / nullptr when h is absent).
+    void set_backup(net::HostId h, net::AltRoute alt);
+    [[nodiscard]] const std::optional<net::AltRoute>* backup(net::HostId h) const;
+    /// Backup -> primary in place; the backup slot empties. False if absent.
+    bool promote(net::HostId h);
+
+    /// Non-touching lookups (test introspection; recency order unchanged).
+    [[nodiscard]] const net::Route* peek(net::HostId h) const;
+    [[nodiscard]] const std::optional<net::AltRoute>* peek_backup(
+        net::HostId h) const;
+
    private:
-    using Entry = std::pair<net::HostId, net::Route>;
+    struct Entry {
+      net::HostId host;
+      net::Route primary;
+      std::optional<net::AltRoute> backup;
+    };
     std::size_t cap_;
     std::list<Entry> lru_;  // front = most recently used
     std::unordered_map<net::HostId, std::list<Entry>::iterator> idx_;
@@ -201,6 +264,18 @@ class OnDemandMapper final : public MapperIface {
 
   void inject_probe(net::Packet pkt);
 
+  // --- proactive backup paths (cfg_.proactive_backup) ----------------------
+  /// Salt for disjoint_route tie-breaking: multipath machinery, distinct
+  /// stream (backups must not mirror the primary multipath picks).
+  [[nodiscard]] std::uint64_t backup_salt(net::HostId dst) const;
+  /// Compute + install the backup slot for a just-installed primary.
+  void fill_backup(net::HostId dst);
+  /// Validate (trace_route_up) + promote the backup; true on success.
+  bool promote_backup(net::HostId dst);
+  /// Background: recompute a backup disjoint from the *new* primary, verify
+  /// it with one host probe, install it if the entry is still unchanged.
+  sim::Process replenish_backup(net::HostId dst, net::Route primary);
+
   nic::Nic& nic_;
   OnDemandMapperConfig cfg_;
   OnDemandMapperStats stats_;
@@ -213,6 +288,13 @@ class OnDemandMapper final : public MapperIface {
   /// Set when on_path_failure hits the in-flight destination: the result of
   /// the current BFS must not be cached (it may be the failed path).
   bool active_invalidated_ = false;
+  /// Set alongside active_invalidated_ when that failure was served by a
+  /// backup promotion: the in-flight BFS result is still discarded, but the
+  /// promoted cache entry survives and answers the waiting callbacks (no
+  /// double-cache — the probe raced the promote and lost).
+  bool active_promoted_ = false;
+  /// Destinations with a replenish probe in flight (suppress duplicates).
+  std::unordered_map<net::HostId, bool> replenishing_;
 
   /// Nonce -> in-flight probe bookkeeping.
   std::unordered_map<std::uint64_t, ProbeWait*> inflight_;

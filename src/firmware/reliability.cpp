@@ -484,8 +484,10 @@ void ReliableFirmware::declare_path_failure(HostId h, TxChannel& ch) {
     return;
   }
   // The mapper's cached path to h is the one that just failed; drop it so
-  // the remap below re-probes instead of re-serving the dead route.
-  mapper_->on_path_failure(h);
+  // the remap below re-probes instead of re-serving the dead route. A mapper
+  // with proactive backups may promote the precomputed alternate instead
+  // (returns true) — the remap below is then a one-step cache hit.
+  ch.remap_promoted = mapper_->on_path_failure(h);
   begin_remap(h, ch);
 }
 
@@ -496,7 +498,8 @@ void ReliableFirmware::begin_remap(HostId h, TxChannel& ch) {
   ++stats_.remap_requests;
   trace_ch(obs::TraceKind::kRemapStart, h, 0, ch.generation);
   publish(FwEvent{FwEvent::Kind::kRemapStart, nic_.self(), h, ch.generation,
-                  false, static_cast<std::uint32_t>(ch.retrans_queue.size())});
+                  false, static_cast<std::uint32_t>(ch.retrans_queue.size()),
+                  ch.remap_promoted});
   mapper_->request_route(h, [this, h](std::optional<net::Route> route) {
     finish_remap(h, std::move(route));
   });
@@ -510,10 +513,12 @@ void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
            route.has_value() ? 1 : 0);
   publish(FwEvent{FwEvent::Kind::kRemapDone, nic_.self(), h, ch.generation,
                   route.has_value(),
-                  static_cast<std::uint32_t>(ch.retrans_queue.size())});
+                  static_cast<std::uint32_t>(ch.retrans_queue.size()),
+                  ch.remap_promoted});
   if (!route) {
     // "If no alternative route to a node exists, the node is labeled as
     // unreachable and any pending packets are dropped."
+    ch.remap_promoted = false;
     ch.unreachable = true;
     drop_pending(h, ch);
     return;
@@ -540,7 +545,9 @@ void ReliableFirmware::finish_remap(HostId h, std::optional<net::Route> route) {
   trace_ch(obs::TraceKind::kGenRestart, h, ch.next_seq, ch.generation,
            static_cast<std::uint32_t>(ch.retrans_queue.size()));
   publish(FwEvent{FwEvent::Kind::kGenRestart, nic_.self(), h, ch.generation,
-                  true, static_cast<std::uint32_t>(ch.retrans_queue.size())});
+                  true, static_cast<std::uint32_t>(ch.retrans_queue.size()),
+                  ch.remap_promoted});
+  ch.remap_promoted = false;  // one remap consumed the promotion
 
   // Resume: send every pending packet in order on the fresh route.
   {
@@ -594,7 +601,9 @@ void ReliableFirmware::exclude_peer(HostId peer) {
                   ch.generation, false,
                   static_cast<std::uint32_t>(ch.retrans_queue.size())});
   routes_.invalidate(peer);
-  if (mapper_ != nullptr) mapper_->on_path_failure(peer);
+  // The *node* is dead, not just the path: the mapper drops both cache slots
+  // (a backup route to a corpse must never be promoted).
+  if (mapper_ != nullptr) mapper_->on_peer_dead(peer);
   ch.unreachable = true;
   ch.rounds_without_progress = 0;
   drop_pending(peer, ch);

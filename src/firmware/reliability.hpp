@@ -112,6 +112,10 @@ struct FwEvent {
   std::uint16_t gen = 0;
   bool ok = false;         // kRemapDone only
   std::uint32_t pending = 0;  // queued packets affected, where meaningful
+  /// kRemapStart/kRemapDone/kGenRestart: this remap was served by a
+  /// proactive backup-path promotion (MapperIface::on_path_failure returned
+  /// true) — no probe storm ran. RecoveryMonitor splits TTFR by this bit.
+  bool promoted = false;
 };
 
 class ReliableFirmware final : public nic::FirmwareIface {

@@ -86,6 +86,18 @@ class Cluster {
           mappers_.push_back(std::make_unique<firmware::OnDemandMapper>(
               *nics_.back(), od));
           rel_.back()->set_mapper(mappers_.back().get());
+          // Preloaded rigs never probe before the first failure, so the
+          // mapper's cache would be cold and the first on_path_failure would
+          // find no backup to promote. Seed the cache (and its proactive
+          // backups) from the same routes the tables were preloaded with.
+          if (cfg_.preload_routes && od.proactive_backup) {
+            for (const net::HostId other : hosts) {
+              if (other == hosts[i]) continue;
+              if (auto r = topo.shortest_route(hosts[i], other)) {
+                mappers_.back()->seed_cache(other, *r);
+              }
+            }
+          }
         } else if (cfg_.mapper == MapperKind::kFull) {
           full_mappers_.push_back(std::make_unique<firmware::FullMapper>(
               *nics_.back(), topo, cfg_.full));

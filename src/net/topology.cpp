@@ -4,7 +4,10 @@
 #include <cassert>
 #include <deque>
 #include <map>
+#include <numeric>
 #include <stdexcept>
+
+#include "sim/rng.hpp"
 
 namespace sanfault::net {
 
@@ -178,6 +181,178 @@ std::optional<Device> Topology::trace_route(HostId from, const Route& r) const {
   }
   if (next != r.ports.size()) return std::nullopt;  // leftover bytes corrupt
   return cur;
+}
+
+std::optional<Device> Topology::trace_route_up(HostId from,
+                                               const Route& r) const {
+  auto att = peer_of(Port{Device::host(from), 0});
+  if (!att || !link_up(att->link)) return std::nullopt;
+  Device cur = att->peer.dev;
+  std::size_t next = 0;
+  while (cur.is_switch()) {
+    if (!switch_up(cur.as_switch())) return std::nullopt;
+    if (next >= r.ports.size()) return std::nullopt;
+    const std::uint8_t port = r.ports[next++];
+    if (port >= switches_[cur.index].num_ports) return std::nullopt;
+    auto hop = peer_of(Port{cur, port});
+    if (!hop || !link_up(hop->link)) return std::nullopt;
+    cur = hop->peer.dev;
+  }
+  if (next != r.ports.size()) return std::nullopt;
+  return cur;
+}
+
+std::optional<Route> Topology::constrained_route(
+    HostId from, HostId to, const std::vector<char>& link_banned,
+    const std::vector<char>& switch_banned, std::uint64_t salt) const {
+  if (from == to) return Route{};
+  struct Crumb {
+    Device prev;
+    LinkId via;
+  };
+  std::map<Device, Crumb> visited;
+
+  const Device start = Device::host(from);
+  const Device goal = Device::host(to);
+  std::deque<Device> frontier{start};
+  visited[start] = Crumb{start, LinkId{}};
+
+  auto link_ok = [&](LinkId l) {
+    return link_up(l) && !(l.v < link_banned.size() && link_banned[l.v]);
+  };
+  auto switch_ok = [&](SwitchId s) {
+    return switch_up(s) && !(s.v < switch_banned.size() && switch_banned[s.v]);
+  };
+
+  auto expand = [&](Device d, Port p) -> std::optional<Device> {
+    auto att = peer_of(p);
+    if (!att || !link_ok(att->link)) return std::nullopt;
+    const Device nbr = att->peer.dev;
+    if (nbr.is_switch() && !switch_ok(nbr.as_switch())) return std::nullopt;
+    if (visited.contains(nbr)) return std::nullopt;
+    visited[nbr] = Crumb{d, att->link};
+    return nbr;
+  };
+
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    const Device d = frontier.front();
+    frontier.pop_front();
+    if (d.is_host()) {
+      if (d != start) continue;  // other hosts do not forward
+      if (auto n = expand(d, Port{d, 0})) {
+        if (*n == goal) found = true;
+        frontier.push_back(*n);
+      }
+    } else {
+      const auto& sw = switches_[d.index];
+      if (!switch_ok(d.as_switch())) continue;
+      // Salt-seeded per-switch port permutation: among equal-cost choices the
+      // first-found shortest path depends on expansion order, so the salt
+      // deterministically spreads backup picks across (source, destination)
+      // pairs the same way the mapper's multipath selection does.
+      std::vector<std::uint8_t> order(sw.num_ports);
+      std::iota(order.begin(), order.end(), std::uint8_t{0});
+      sim::Rng perm(salt ^ (0x9E3779B97F4A7C15ull * (d.index + 1)));
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[perm.uniform(i)]);
+      }
+      for (std::size_t i = 0; i < order.size() && !found; ++i) {
+        if (auto n = expand(d, Port{d, order[i]})) {
+          if (*n == goal) found = true;
+          frontier.push_back(*n);
+        }
+      }
+    }
+  }
+  if (!visited.contains(goal)) return std::nullopt;
+
+  Route route;
+  Device cur = goal;
+  while (cur != start) {
+    const Crumb& c = visited[cur];
+    const Device prev = c.prev;
+    if (prev.is_switch()) {
+      const LinkRec& rec = links_[c.via.v];
+      const Port out = (rec.a.dev == prev) ? rec.a : rec.b;
+      route.ports.push_back(out.port);
+    }
+    cur = prev;
+  }
+  std::reverse(route.ports.begin(), route.ports.end());
+  return route;
+}
+
+std::optional<AltRoute> Topology::disjoint_route(HostId from, HostId to,
+                                                 const Route& primary,
+                                                 std::uint64_t salt) const {
+  // Walk the primary (ignoring up/down: it may have just failed) collecting
+  // every link and switch it traverses, in path order.
+  auto att = peer_of(Port{Device::host(from), 0});
+  if (!att) return std::nullopt;
+  std::vector<LinkId> path_links{att->link};
+  std::vector<SwitchId> path_switches;
+  Device cur = att->peer.dev;
+  std::size_t next = 0;
+  while (cur.is_switch()) {
+    path_switches.push_back(cur.as_switch());
+    if (next >= primary.ports.size()) return std::nullopt;
+    const std::uint8_t port = primary.ports[next++];
+    if (port >= switches_[cur.index].num_ports) return std::nullopt;
+    auto hop = peer_of(Port{cur, port});
+    if (!hop) return std::nullopt;
+    path_links.push_back(hop->link);
+    cur = hop->peer.dev;
+  }
+  if (next != primary.ports.size() || cur != Device::host(to)) {
+    return std::nullopt;  // not a valid from->to walk
+  }
+
+  // Interior = everything strictly between the two access switches. Hosts
+  // are single-homed: the access links and the first/last crossbar are
+  // shared by construction, so they never enter a ban set.
+  std::vector<LinkId> interior_links(
+      path_links.size() > 2 ? path_links.begin() + 1 : path_links.end(),
+      path_links.size() > 2 ? path_links.end() - 1 : path_links.end());
+  std::vector<SwitchId> interior_switches(
+      path_switches.size() > 2 ? path_switches.begin() + 1
+                               : path_switches.end(),
+      path_switches.size() > 2 ? path_switches.end() - 1
+                               : path_switches.end());
+  if (interior_links.empty()) {
+    // Same-crossbar pair (or direct cable): the only route IS the primary.
+    return std::nullopt;
+  }
+
+  auto attempt = [&](const std::vector<LinkId>& ban_links,
+                     const std::vector<SwitchId>& ban_switches)
+      -> std::optional<Route> {
+    std::vector<char> lb(links_.size(), 0);
+    std::vector<char> sb(switches_.size(), 0);
+    for (const LinkId l : ban_links) lb[l.v] = 1;
+    for (const SwitchId s : ban_switches) sb[s.v] = 1;
+    auto r = constrained_route(from, to, lb, sb, salt);
+    if (r && *r == primary) r.reset();  // replaying the primary is no backup
+    return r;
+  };
+
+  if (auto r = attempt(interior_links, interior_switches)) {
+    return AltRoute{std::move(*r), DisjointClass::kNodeDisjoint};
+  }
+  if (!interior_switches.empty()) {
+    if (auto r = attempt(interior_links, {})) {
+      return AltRoute{std::move(*r), DisjointClass::kLinkDisjoint};
+    }
+  }
+  // Progressive relaxation: any route avoiding at least one primary link
+  // still survives that link's death. Ban one interior link at a time, in
+  // path order, and take the first alternate that appears.
+  for (const LinkId l : interior_links) {
+    if (auto r = attempt({l}, {})) {
+      return AltRoute{std::move(*r), DisjointClass::kOverlapping};
+    }
+  }
+  return std::nullopt;
 }
 
 Figure2Fabric make_figure2_fabric(std::size_t num_hosts) {

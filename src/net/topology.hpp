@@ -23,6 +23,22 @@ struct LinkModel {
   sim::Duration latency = 250;          // ns, head propagation per traversal
 };
 
+/// Disjointness achieved by a precomputed backup route relative to its
+/// primary. Hosts are single-homed, so the access links and the first/last
+/// crossbar are shared by construction; the classes grade the *interior* of
+/// the path (everything between the two access switches).
+enum class DisjointClass : std::uint8_t {
+  kNodeDisjoint,  // no interior switch and no interior link shared
+  kLinkDisjoint,  // no interior link shared; interior switches may repeat
+  kOverlapping,   // avoids at least one primary link, shares others
+};
+
+/// An alternate route plus the disjointness class it achieved.
+struct AltRoute {
+  Route route;
+  DisjointClass cls = DisjointClass::kOverlapping;
+};
+
 class Topology {
  public:
   HostId add_host();
@@ -96,6 +112,25 @@ class Topology {
   [[nodiscard]] std::optional<Device> device_after(HostId from,
                                                    const Route& r) const;
 
+  /// trace_route that additionally requires every traversed link and switch
+  /// to be *currently up* — nullopt when the route is broken anywhere along
+  /// it. The proactive-backup layer uses this to reject stale backups before
+  /// promoting them.
+  [[nodiscard]] std::optional<Device> trace_route_up(HostId from,
+                                                     const Route& r) const;
+
+  /// Maximally disjoint alternate to `primary` (which must be a valid
+  /// from->to route): prefer a route avoiding every interior link AND
+  /// interior switch of the primary, then one avoiding only its interior
+  /// links, then one avoiding at least one interior link. Ties among
+  /// equal-cost choices are broken by a salt-seeded per-switch port-order
+  /// permutation, so the pick is deterministic but spread across sources
+  /// (the multipath trick). nullopt when the primary walk fails or every
+  /// alternate would replay the primary exactly (e.g. both hosts on one
+  /// crossbar).
+  [[nodiscard]] std::optional<AltRoute> disjoint_route(
+      HostId from, HostId to, const Route& primary, std::uint64_t salt) const;
+
  private:
   struct HostRec {
     std::optional<LinkId> link;  // hosts have exactly one port
@@ -114,6 +149,9 @@ class Topology {
 
   std::optional<LinkId>& port_slot(Port p);
   [[nodiscard]] const std::optional<LinkId>* port_slot_const(Port p) const;
+  [[nodiscard]] std::optional<Route> constrained_route(
+      HostId from, HostId to, const std::vector<char>& link_banned,
+      const std::vector<char>& switch_banned, std::uint64_t salt) const;
 
   std::vector<HostRec> hosts_;
   std::vector<SwitchRec> switches_;

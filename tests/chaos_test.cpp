@@ -288,6 +288,123 @@ TEST(ChaosRecovery, PartitionAndHealIsExactlyOnce) {
   EXPECT_LT(r.remap_conv_max, sim::seconds(600));  // finite, by construction
 }
 
+// --- per-destination recovery attribution ----------------------------------
+
+TEST(ChaosRecovery, PerDestinationTtfrIsNotMaskedByFastChannels) {
+  // Regression: the single burst-global TTFR sample stops at whichever
+  // channel recovers first, so a channel whose remap was served from the
+  // path cache (recovering in microseconds) used to absorb the measurement
+  // and hide a channel that took 7 ms. Synthetic event feed: one fault, two
+  // channels redelivering at different times.
+  sim::Scheduler sched;
+  chaos::RecoveryMonitor monitor(sched);
+
+  auto retrans = [](std::uint32_t src, std::uint32_t dst) {
+    net::Packet p;
+    p.hdr.src = net::HostId{src};
+    p.hdr.dst = net::HostId{dst};
+    p.hdr.type = net::PacketType::kData;
+    p.hdr.flags = net::kFlagRetransmit;
+    return p;
+  };
+  sched.after(sim::milliseconds(1), [&] {
+    monitor.on_fault({net::FaultKind::kLinkDown, 0});
+  });
+  sched.after(sim::milliseconds(3), [&] {  // fast channel 0->1: 2 ms
+    monitor.on_delivery(retrans(0, 1), net::HostId{1});
+  });
+  sched.after(sim::milliseconds(8), [&] {  // slow channel 0->2: 7 ms
+    monitor.on_delivery(retrans(0, 2), net::HostId{2});
+  });
+  sched.after(sim::milliseconds(10), [&] {  // same pair again: no new sample
+    monitor.on_delivery(retrans(0, 1), net::HostId{1});
+  });
+  sched.run_until(sim::milliseconds(20));
+  monitor.finalize();
+
+  const auto& r = monitor.report();
+  EXPECT_EQ(r.ttfr_samples, 1u);  // the global clock still stops at 2 ms
+  EXPECT_EQ(r.ttfr_max, sim::milliseconds(2));
+  ASSERT_EQ(r.ttfr_dest_samples, 2u);  // ...but both channels sampled
+  EXPECT_EQ(r.ttfr_dest_max, sim::milliseconds(7));
+  ASSERT_EQ(r.ttfr_dest.size(), 2u);
+  EXPECT_EQ(r.ttfr_dest[0], sim::milliseconds(2));
+  EXPECT_EQ(r.ttfr_dest[1], sim::milliseconds(7));
+  // A retransmission of the same pair later in the burst is not a second
+  // sample — first redelivery only.
+}
+
+TEST(ChaosRecovery, RemapConvergenceAnchorsAtFaultNotRestart) {
+  // A restart answered from the path cache converges almost instantly by
+  // the restart-relative clock; the fault-relative clock still charges the
+  // full detection delay. Both are reported, attributed promoted/probed.
+  sim::Scheduler sched;
+  chaos::RecoveryMonitor monitor(sched);
+
+  sched.after(sim::milliseconds(1), [&] {
+    monitor.on_fault({net::FaultKind::kLinkDown, 0});
+  });
+  sched.after(sim::milliseconds(5), [&] {
+    firmware::FwEvent ev;
+    ev.kind = firmware::FwEvent::Kind::kGenRestart;
+    ev.self = net::HostId{0};
+    ev.peer = net::HostId{1};
+    ev.gen = 2;
+    ev.promoted = true;
+    monitor.on_fw_event(ev);
+  });
+  sched.after(sim::milliseconds(9), [&] {
+    net::Packet p;
+    p.hdr.src = net::HostId{0};
+    p.hdr.dst = net::HostId{1};
+    p.hdr.type = net::PacketType::kData;
+    p.hdr.generation = 2;
+    monitor.on_delivery(p, net::HostId{1});
+  });
+  sched.run_until(sim::milliseconds(20));
+  monitor.finalize();
+
+  const auto& r = monitor.report();
+  EXPECT_EQ(r.remap_convergences, 1u);
+  EXPECT_EQ(r.remap_conv_max, sim::milliseconds(4));             // restart-relative
+  EXPECT_EQ(r.remap_conv_from_fault_max, sim::milliseconds(8));  // fault-relative
+  EXPECT_EQ(r.remap_conv_promoted, 1u);
+  EXPECT_EQ(r.remap_conv_probed, 0u);
+}
+
+TEST(ChaosRecovery, ProactiveBackupServesKillWithPromotedRemap) {
+  // The KillDuringRetransmission cell with proactive backups on: the path
+  // failure is answered by a promotion (no probe run on the critical path)
+  // and the stream stays lossless and in first-delivery order.
+  ClusterConfig cfg;
+  cfg.num_hosts = 4;
+  cfg.topo = harness::TopoKind::kFigure2;
+  cfg.mapper = harness::MapperKind::kOnDemand;
+  cfg.ondemand.proactive_backup = true;
+  cfg.rel.fail_threshold = sim::milliseconds(10);
+  cfg.rel.fail_min_rounds = 8;
+  cfg.nic.send_buffers = 64;
+  Drainer d;
+  const int n = 200;
+  const auto r = stream_under_chaos(
+      cfg, "scenario kill\nseed 3\nat 1ms link_down link=0\n", n,
+      sim::microseconds(10), d);
+
+  ASSERT_GE(d.msgs.size(), static_cast<std::size_t>(n));
+  std::uint64_t next_first = 0;
+  for (const harness::HostMsg& m : d.msgs) {
+    if (m.user.w0 == next_first) ++next_first;
+    EXPECT_LT(m.user.w0, next_first) << "gap before first delivery";
+  }
+  EXPECT_EQ(next_first, static_cast<std::uint64_t>(n));  // none lost
+  EXPECT_GE(r.gen_restarts, 1u);
+  EXPECT_GE(r.remap_convergences, 1u);
+  EXPECT_GE(r.remap_conv_promoted, 1u);  // the remap came from the backup
+  EXPECT_EQ(r.remap_failures, 0u);
+  EXPECT_GE(r.ttfr_dest_samples, 1u);
+  EXPECT_FALSE(r.gen_regressed);
+}
+
 // --- workload phase hooks --------------------------------------------------
 
 TEST(TrafficPhases, AnnouncedOnceInOrder) {

@@ -365,6 +365,180 @@ TEST(OnDemandMapper, PathCacheHitsInvalidationAndLruEviction) {
   EXPECT_GT(st.switch_probes_tx, sw_before);
 }
 
+// --- proactive backup paths (docs/ROUTING.md) -------------------------------
+
+ClusterConfig proactive_cfg(std::size_t hosts, TopoKind topo) {
+  auto cfg = ondemand_cfg(hosts, topo);
+  cfg.preload_routes = true;  // Cluster seeds the cache + backups
+  cfg.ondemand.proactive_backup = true;
+  return cfg;
+}
+
+/// Links a route traverses, in path order (access links included).
+std::vector<net::LinkId> route_links(const Cluster& c, std::size_t src,
+                                     const net::Route& r) {
+  std::vector<net::LinkId> links;
+  auto att = c.topo.peer_of({net::Device::host(c.hosts[src]), 0});
+  EXPECT_TRUE(att.has_value());
+  links.push_back(att->link);
+  net::Device cur = att->peer.dev;
+  for (const std::uint8_t p : r.ports) {
+    auto hop = c.topo.peer_of({cur, p});
+    EXPECT_TRUE(hop.has_value());
+    links.push_back(hop->link);
+    cur = hop->peer.dev;
+  }
+  return links;
+}
+
+TEST(ProactiveBackup, PromotionServesFailoverWithZeroProbes) {
+  Cluster c(proactive_cfg(8, TopoKind::kFigure2));
+  const auto& st = c.mapper(0).stats();
+  // Seeding filled both slots: a primary and a disjoint backup (Figure 2's
+  // redundant trunk pairs guarantee at least link-disjointness).
+  ASSERT_NE(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(slot->has_value());
+  const net::Route backup = (*slot)->route;
+  EXPECT_NE(backup, *c.mapper(0).cached_route(c.hosts[3]));
+  EXPECT_GT(st.backup_computed, 0u);
+
+  // A path failure promotes in one step: the backup becomes the primary and
+  // the next request is a cache hit — no probe leaves the NIC.
+  const auto probes_before = st.host_probes_tx + st.switch_probes_tx;
+  EXPECT_TRUE(c.mapper(0).on_path_failure(c.hosts[3]));
+  EXPECT_EQ(st.backup_promotions, 1u);
+  ASSERT_NE(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  EXPECT_EQ(*c.mapper(0).cached_route(c.hosts[3]), backup);
+  const auto r = map_now(c, 0, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, backup);
+  EXPECT_EQ(st.path_cache_hits, 1u);
+  EXPECT_EQ(st.host_probes_tx + st.switch_probes_tx, probes_before);
+
+  // The emptied backup slot is replenished in the background, verified by
+  // one host probe — off the failover critical path.
+  c.sched.run_until(c.sched.now() + sim::seconds(1));
+  EXPECT_EQ(st.backup_replenish_probes, 1u);
+  const auto* refilled = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(refilled, nullptr);
+  ASSERT_TRUE(refilled->has_value());
+  EXPECT_NE((*refilled)->route, backup);  // disjoint from the new primary
+}
+
+TEST(ProactiveBackup, StaleBackupIsRejectedAndFallsBackToProbing) {
+  Cluster c(proactive_cfg(8, TopoKind::kFigure2));
+  const auto& st = c.mapper(0).stats();
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(slot->has_value());
+
+  // Kill an interior link of the *backup* route: the backup is now as dead
+  // as the primary will be. Promotion must refuse it — never deliver over a
+  // wrong route — and drop the whole entry instead.
+  const auto links = route_links(c, 0, (*slot)->route);
+  ASSERT_GT(links.size(), 2u);  // host3 is 4 switches away: has interior
+  c.topo.set_link_up(links[1], false);
+
+  EXPECT_FALSE(c.mapper(0).on_path_failure(c.hosts[3]));
+  EXPECT_EQ(st.backup_stale_rejections, 1u);
+  EXPECT_EQ(st.backup_promotions, 0u);
+  EXPECT_EQ(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+
+  // The fallback is the ordinary probe path, which routes around the dead
+  // link (redundant trunks remain).
+  const auto probes_before = st.host_probes_tx + st.switch_probes_tx;
+  const auto r = map_now(c, 0, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(st.host_probes_tx + st.switch_probes_tx, probes_before);
+  auto end = c.topo.trace_route_up(c.hosts[0], *r);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, net::Device::host(c.hosts[3]));
+}
+
+TEST(ProactiveBackup, DisjointnessImpossibleDegradesGracefully) {
+  // Single crossbar: the only route between any pair IS the primary, so no
+  // backup can exist. The entry stays backup-less and failures fall back to
+  // probing — proactive mode must not make the degenerate fabric worse.
+  Cluster c(proactive_cfg(4, TopoKind::kSingleSwitch));
+  const auto& st = c.mapper(0).stats();
+  ASSERT_NE(c.mapper(0).cached_route(c.hosts[1]), nullptr);
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[1]);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_FALSE(slot->has_value());
+  EXPECT_EQ(st.backup_computed, 0u);
+
+  EXPECT_FALSE(c.mapper(0).on_path_failure(c.hosts[1]));
+  EXPECT_EQ(st.backup_promotions, 0u);
+  EXPECT_EQ(st.backup_stale_rejections, 0u);  // absent, not stale
+  EXPECT_EQ(c.mapper(0).cached_route(c.hosts[1]), nullptr);
+  EXPECT_TRUE(map_now(c, 0, 1).has_value());
+}
+
+TEST(ProactiveBackup, PromotionDuringInFlightProbeDoesNotDoubleCache) {
+  // A BFS for dst is mid-probe when a path failure is served by promotion
+  // (the entry appeared concurrently — an operator seed here; a
+  // discovered-in-passing fill in general). The stale BFS result must not
+  // overwrite the promoted entry, and the waiting callbacks must get the
+  // promoted route, not the poisoned one.
+  auto cfg = proactive_cfg(8, TopoKind::kFigure2);
+  cfg.preload_routes = false;  // cold: request_route actually probes
+  Cluster c(cfg);
+  const auto& st = c.mapper(0).stats();
+
+  bool done = false;
+  std::optional<net::Route> got;
+  c.mapper(0).request_route(c.hosts[3], [&](std::optional<net::Route> r) {
+    got = std::move(r);
+    done = true;
+  });
+  // Let the BFS start probing, then install an entry + backup behind its
+  // back and declare the path failed.
+  c.sched.run_until(c.sched.now() + sim::microseconds(500));
+  ASSERT_FALSE(done);
+  const auto primary = c.topo.shortest_route(c.hosts[0], c.hosts[3]);
+  ASSERT_TRUE(primary.has_value());
+  c.mapper(0).seed_cache(c.hosts[3], *primary);
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(slot->has_value());
+  const net::Route backup = (*slot)->route;
+  EXPECT_TRUE(c.mapper(0).on_path_failure(c.hosts[3]));
+
+  while (!done && c.sched.step()) {
+  }
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, backup);  // promoted route answered the callbacks
+  ASSERT_NE(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  EXPECT_EQ(*c.mapper(0).cached_route(c.hosts[3]), backup);
+  EXPECT_EQ(st.backup_promotions, 1u);
+}
+
+TEST(ProactiveBackup, NicResetFlushesBothSlots) {
+  Cluster c(proactive_cfg(8, TopoKind::kFigure2));
+  ASSERT_NE(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(slot->has_value());
+  c.mapper(0).on_nic_reset();
+  EXPECT_EQ(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  EXPECT_EQ(c.mapper(0).cached_backup(c.hosts[3]), nullptr);
+}
+
+TEST(ProactiveBackup, PeerDeathNeverPromotes) {
+  // Membership declared the node itself dead: a backup route to a corpse is
+  // no failover target. Both slots drop; nothing is promoted.
+  Cluster c(proactive_cfg(8, TopoKind::kFigure2));
+  const auto& st = c.mapper(0).stats();
+  ASSERT_TRUE(c.mapper(0).cached_backup(c.hosts[3]) != nullptr);
+  c.mapper(0).on_peer_dead(c.hosts[3]);
+  EXPECT_EQ(st.backup_promotions, 0u);
+  EXPECT_EQ(c.mapper(0).cached_route(c.hosts[3]), nullptr);
+  EXPECT_EQ(c.mapper(0).cached_backup(c.hosts[3]), nullptr);
+}
+
 TEST(FullMapper, ServesRoutesAfterModeledRemap) {
   ClusterConfig cfg;
   cfg.num_hosts = 8;

@@ -184,6 +184,156 @@ TEST(Topology, TraceRouteDetectsMisroutes) {
   EXPECT_FALSE(f.topo.trace_route(f.h0, Route{{200}}).has_value());
 }
 
+// --- up-state-aware tracing and disjoint backup routes ----------------------
+
+TEST(Topology, TraceRouteUpRequiresLiveElements) {
+  // h0 - sA - sB - h1 direct, plus a detour through sC.
+  Topology t;
+  SwitchId sA = t.add_switch(4);
+  SwitchId sB = t.add_switch(4);
+  SwitchId sC = t.add_switch(4);
+  HostId h0 = t.add_host();
+  HostId h1 = t.add_host();
+  t.connect({Device::host(h0), 0}, {Device::sw(sA), 0});
+  t.connect({Device::host(h1), 0}, {Device::sw(sB), 0});
+  LinkId direct = t.connect({Device::sw(sA), 1}, {Device::sw(sB), 1});
+  t.connect({Device::sw(sA), 2}, {Device::sw(sC), 0});
+  t.connect({Device::sw(sC), 1}, {Device::sw(sB), 2});
+
+  const Route r{{1, 0}};  // h0 -> sA -> sB -> h1 over the direct trunk
+  auto end = t.trace_route_up(h0, r);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, Device::host(h1));
+
+  // A dead link anywhere on the walk voids it (trace_route still follows
+  // the wiring — up-state is this variant's whole point).
+  t.set_link_up(direct, false);
+  EXPECT_FALSE(t.trace_route_up(h0, r).has_value());
+  EXPECT_TRUE(t.trace_route(h0, r).has_value());
+  t.set_link_up(direct, true);
+
+  // A dead switch voids it too.
+  t.set_switch_up(sB, false);
+  EXPECT_FALSE(t.trace_route_up(h0, r).has_value());
+}
+
+TEST(Topology, DisjointRouteFindsNodeDisjointDetour) {
+  Topology t;
+  SwitchId sA = t.add_switch(4);
+  SwitchId sB = t.add_switch(4);
+  SwitchId sC = t.add_switch(4);
+  HostId h0 = t.add_host();
+  HostId h1 = t.add_host();
+  t.connect({Device::host(h0), 0}, {Device::sw(sA), 0});
+  t.connect({Device::host(h1), 0}, {Device::sw(sB), 0});
+  t.connect({Device::sw(sA), 1}, {Device::sw(sB), 1});  // direct
+  t.connect({Device::sw(sA), 2}, {Device::sw(sC), 0});  // detour
+  t.connect({Device::sw(sC), 1}, {Device::sw(sB), 2});
+
+  const auto primary = t.shortest_route(h0, h1);
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->hops(), 2u);  // via the direct trunk
+  const auto alt = t.disjoint_route(h0, h1, *primary, 1);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->cls, DisjointClass::kNodeDisjoint);
+  EXPECT_NE(alt->route, *primary);
+  auto end = t.trace_route(h0, alt->route);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, Device::host(h1));
+}
+
+TEST(Topology, DisjointRouteDegradesToLinkDisjointThroughSharedSwitch) {
+  // Chain h0 - sA == sM == sB - h1 with doubled trunks on both segments:
+  // every route crosses sM, but the second trunk pair avoids every primary
+  // *link*.
+  Topology t;
+  SwitchId sA = t.add_switch(4);
+  SwitchId sM = t.add_switch(4);
+  SwitchId sB = t.add_switch(4);
+  HostId h0 = t.add_host();
+  HostId h1 = t.add_host();
+  t.connect({Device::host(h0), 0}, {Device::sw(sA), 0});
+  t.connect({Device::host(h1), 0}, {Device::sw(sB), 2});
+  t.connect({Device::sw(sA), 1}, {Device::sw(sM), 0});
+  t.connect({Device::sw(sA), 2}, {Device::sw(sM), 1});
+  t.connect({Device::sw(sM), 2}, {Device::sw(sB), 0});
+  t.connect({Device::sw(sM), 3}, {Device::sw(sB), 1});
+
+  const auto primary = t.shortest_route(h0, h1);
+  ASSERT_TRUE(primary.has_value());
+  const auto alt = t.disjoint_route(h0, h1, *primary, 1);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->cls, DisjointClass::kLinkDisjoint);
+  EXPECT_NE(alt->route, *primary);
+  auto end = t.trace_route(h0, alt->route);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, Device::host(h1));
+}
+
+TEST(Topology, DisjointRouteDegradesToOverlappingWhenOneLinkIsShared) {
+  // Doubled first segment, single second segment: any alternate must reuse
+  // the sM - sB link, but avoiding the primary's sA - sM link still
+  // survives that link's death.
+  Topology t;
+  SwitchId sA = t.add_switch(4);
+  SwitchId sM = t.add_switch(4);
+  SwitchId sB = t.add_switch(4);
+  HostId h0 = t.add_host();
+  HostId h1 = t.add_host();
+  t.connect({Device::host(h0), 0}, {Device::sw(sA), 0});
+  t.connect({Device::host(h1), 0}, {Device::sw(sB), 1});
+  t.connect({Device::sw(sA), 1}, {Device::sw(sM), 0});
+  t.connect({Device::sw(sA), 2}, {Device::sw(sM), 1});
+  t.connect({Device::sw(sM), 2}, {Device::sw(sB), 0});
+
+  const auto primary = t.shortest_route(h0, h1);
+  ASSERT_TRUE(primary.has_value());
+  const auto alt = t.disjoint_route(h0, h1, *primary, 1);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->cls, DisjointClass::kOverlapping);
+  EXPECT_NE(alt->route, *primary);
+  auto end = t.trace_route(h0, alt->route);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, Device::host(h1));
+}
+
+TEST(Topology, DisjointRouteImpossibleOnSharedCrossbar) {
+  // Same-crossbar pair: the primary's interior is empty — the only route IS
+  // the primary, and the caller degrades to a backup-less entry.
+  PairFixture f;
+  const auto primary = f.topo.shortest_route(f.h0, f.h1);
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_FALSE(f.topo.disjoint_route(f.h0, f.h1, *primary, 1).has_value());
+}
+
+TEST(Topology, DisjointRouteIsDeterministicPerSalt) {
+  auto f = make_figure2_fabric(8);
+  const auto primary = f.topo.shortest_route(f.hosts[0], f.hosts[3]);
+  ASSERT_TRUE(primary.has_value());
+  const auto a = f.topo.disjoint_route(f.hosts[0], f.hosts[3], *primary, 42);
+  const auto b = f.topo.disjoint_route(f.hosts[0], f.hosts[3], *primary, 42);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->route, b->route);
+  EXPECT_EQ(a->cls, b->cls);
+}
+
+TEST(Figure2Fabric, CrossFabricBackupIsLinkDisjoint) {
+  // sw8_a - sw16_a - sw16_b - sw8_b is a chain: the interior switches cannot
+  // be avoided, but every trunk is doubled — the best achievable backup for
+  // a cross-fabric pair is exactly link-disjoint, and it survives the death
+  // of any single primary trunk.
+  auto f = make_figure2_fabric(8);
+  const auto primary = f.topo.shortest_route(f.hosts[0], f.hosts[3]);
+  ASSERT_TRUE(primary.has_value());
+  const auto alt = f.topo.disjoint_route(f.hosts[0], f.hosts[3], *primary, 7);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->cls, DisjointClass::kLinkDisjoint);
+  auto end = f.topo.trace_route_up(f.hosts[0], alt->route);
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, Device::host(f.hosts[3]));
+}
+
 TEST(Figure2Fabric, BuildsAndConnectsAllHosts) {
   auto f = make_figure2_fabric(8);
   EXPECT_EQ(f.topo.num_hosts(), 8u);

@@ -455,6 +455,108 @@ TEST_P(ReliabilityBattery, StaleGenerationDropsOnlyAfterGenerationRestart) {
   EXPECT_EQ(rx.data_rx_in_order, static_cast<std::uint64_t>(tags.size()));
 }
 
+/// Links a route traverses, in path order (access links included).
+std::vector<net::LinkId> route_links(const harness::Cluster& c,
+                                     std::size_t src, const net::Route& r) {
+  std::vector<net::LinkId> links;
+  auto att = c.topo.peer_of({net::Device::host(c.hosts[src]), 0});
+  EXPECT_TRUE(att.has_value());
+  links.push_back(att->link);
+  net::Device cur = att->peer.dev;
+  for (const std::uint8_t p : r.ports) {
+    auto hop = c.topo.peer_of({cur, p});
+    EXPECT_TRUE(hop.has_value());
+    links.push_back(hop->link);
+    cur = hop->peer.dev;
+  }
+  return links;
+}
+
+TEST_P(ReliabilityBattery, ExactlyOnceWhenPromotedBackupIsItselfDead) {
+  // Proactive backups with a poisoned failover: the fault pattern kills the
+  // primary's first trunk AND the backup's middle trunk, so the promotion
+  // candidate is as dead as the primary. The mapper must reject it
+  // (trace_route_up) and fall back to probing — never deliver over a wrong
+  // route — and the stream must stay lossless with first deliveries in
+  // order. A live mixed path (primary's surviving trunks + the backup's)
+  // always exists, so the fallback mapping is guaranteed to succeed.
+  const std::uint64_t seed = GetParam();
+  sim::Rng knobs(seed ^ 0xBAC0FF);
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = 8;  // host 0 on sw8_a, host 3 on sw8_b: distance 4
+  cfg.topo = harness::TopoKind::kFigure2;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.mapper = harness::MapperKind::kOnDemand;
+  cfg.ondemand.proactive_backup = true;
+  cfg.ondemand.probe_retries = 6;  // probes must survive the lossy wires
+  cfg.rel.fail_threshold = sim::milliseconds(10);
+  cfg.rel.fail_min_rounds = 8;
+  cfg.nic.send_buffers = 64;
+  cfg.fabric.seed = seed;
+  harness::Cluster c(cfg);
+  for (std::uint32_t l = 0; l < c.topo.num_links(); ++l) {
+    auto& lf = c.fabric().link_faults(net::LinkId{l});
+    lf.loss_prob = 0.03 * knobs.uniform_double();
+    lf.dup_prob = 0.03 * knobs.uniform_double();
+  }
+
+  const net::Route* primary = c.mapper(0).cached_route(c.hosts[3]);
+  ASSERT_NE(primary, nullptr);
+  const auto* slot = c.mapper(0).cached_backup(c.hosts[3]);
+  ASSERT_NE(slot, nullptr);
+  ASSERT_TRUE(slot->has_value());
+  const auto plinks = route_links(c, 0, *primary);
+  const auto blinks = route_links(c, 0, (*slot)->route);
+  ASSERT_EQ(plinks.size(), 5u);  // access + 3 trunks + access
+  ASSERT_EQ(blinks.size(), 5u);
+  c.topo.set_link_up(plinks[1], false);  // primary's sw8_a - sw16_a trunk
+  c.topo.set_link_up(blinks[2], false);  // backup's sw16_a - sw16_b trunk
+
+  constexpr std::uint64_t kMsgs = 60;
+  std::vector<std::uint64_t> tags;
+  std::vector<char> seen(kMsgs, 0);
+  std::size_t distinct = 0;
+  c.nic(3).set_host_rx([&](net::UserHeader u, net::PayloadRef, net::HostId) {
+    tags.push_back(u.w0);
+    if (u.w0 < kMsgs && !seen[u.w0]) {
+      seen[u.w0] = 1;
+      ++distinct;
+    }
+  });
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    c.sched.after(static_cast<sim::Duration>(i) * sim::microseconds(300),
+                  [&c, i] {
+                    net::UserHeader u;
+                    u.w0 = i;
+                    c.send(0, 3,
+                           std::vector<std::uint8_t>(
+                               96, static_cast<std::uint8_t>(i)),
+                           u);
+                  });
+  }
+  run_until_done(c, sim::seconds(120), [&] { return distinct >= kMsgs; });
+  c.sched.run_until(c.sched.now() + sim::milliseconds(50));  // trailing copies
+  ASSERT_EQ(distinct, kMsgs);
+
+  // First deliveries in submission order (a restart may replay the
+  // unacknowledged suffix; it can never reorder or lose).
+  std::vector<char> mark(kMsgs, 0);
+  std::vector<std::uint64_t> firsts;
+  for (std::uint64_t t : tags) {
+    if (t < kMsgs && !mark[t]) {
+      mark[t] = 1;
+      firsts.push_back(t);
+    }
+  }
+  ASSERT_EQ(firsts.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(firsts[i], i);
+
+  const auto& st = c.mapper(0).stats();
+  EXPECT_GE(st.backup_stale_rejections, 1u);  // the dead backup was refused
+  EXPECT_GE(st.mappings_succeeded, 1u);       // probing found the mixed path
+  EXPECT_GE(c.rel(0).stats().generation_restarts, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(FaultSchedules, ReliabilityBattery,
                          ::testing::Range<std::uint64_t>(1000, 1070));
 
