@@ -1,5 +1,6 @@
 // Scale-out mapping sweep: Table 3's probe-count-vs-distance series extended
-// from the 4-switch Figure-2 testbed to 64- and 128-host k-ary Clos fabrics.
+// from the 4-switch Figure-2 testbed to k-ary Clos fabrics: 64/128 hosts on
+// the k=8 tree, 256 on the 320-switch k=16 tree (clos-1024 behind --full).
 //
 // The paper's claim under test: on-demand mapping cost is a function of the
 // *distance* between the two nodes (the BFS stops at the destination's
@@ -42,6 +43,8 @@ struct CellSpec {
   std::size_t src;
   std::vector<std::size_t> targets;  // in increasing switch distance
   std::vector<int> dists;            // switch distance of each target
+  /// Named Clos geometry (net::clos_named_shape); nullptr = default k=8.
+  const char* shape = nullptr;
 };
 
 struct DistRow {
@@ -70,12 +73,24 @@ ClusterConfig cell_cluster_cfg(const CellSpec& spec) {
   ClusterConfig cfg;
   cfg.num_hosts = spec.hosts;
   cfg.topo = spec.topo;
+  if (spec.shape != nullptr) {
+    cfg.clos = *net::clos_named_shape(spec.shape);
+    // The k=16 fabrics (320 switches, radix 16) make the Table-3 default
+    // methodology impractical: a cross-pod BFS is dominated by
+    // duplicate-detection probes, each a timeout. Like bench_chaos, the big
+    // cells run the mapper in configured-deployment mode — the fabric
+    // database answers duplicate verdicts and the probe timeout is sized to
+    // the Clos RTT instead of the conservative Figure-2 default.
+    cfg.ondemand.configured_identity = true;
+    cfg.ondemand.probe_timeout = sim::microseconds(30);
+  }
   cfg.fw = harness::FirmwareKind::kReliable;
   cfg.mapper = harness::MapperKind::kOnDemand;
   cfg.preload_routes = false;
   // Cross-pod BFS on the 128-host fat-tree explores most of the 80-switch
   // fabric including duplicate-detection probes; the default 4096 budget is
-  // a Figure-2-sized guard, not a fat-tree-sized one.
+  // a Figure-2-sized guard, not a fat-tree-sized one. (The k=16 shapes need
+  // the headroom even with duplicate probes resolved by the database.)
   cfg.ondemand.max_probes = std::size_t{1} << 17;
   if (spec.loss > 0.0) cfg.ondemand.probe_retries = 3;
   cfg.ondemand.multipath = spec.multipath;
@@ -188,6 +203,11 @@ int main(int argc, char** argv) {
   const std::vector<int> fig2_dists = {1, 2, 3, 4};
   const std::vector<std::size_t> clos_targets = {32, 1, 4};
   const std::vector<int> clos_dists = {1, 3, 5};
+  // k=16 shapes round-robin hosts over 128 edges (8 per pod): host 128
+  // shares edge 0 (distance 1), host 1 is same-pod (3), host 8 is the first
+  // host of pod 1 (cross-spine, 5).
+  const std::vector<std::size_t> clos16_targets = {128, 1, 8};
+  const std::vector<int> clos16_dists = {1, 3, 5};
 
   std::vector<CellSpec> specs = {
       {"fig2-16", harness::TopoKind::kFigure2, 16, 0.0, false, 4,
@@ -196,10 +216,16 @@ int main(int argc, char** argv) {
        clos_dists},
       {"clos-128", harness::TopoKind::kClos, 128, 0.0, false, 0, clos_targets,
        clos_dists},
+      {"clos-256", harness::TopoKind::kClos, 256, 0.0, false, 0,
+       clos16_targets, clos16_dists, "clos-256"},
       {"clos-64/mp", harness::TopoKind::kClos, 64, 0.0, true, 0, clos_targets,
        clos_dists},
   };
+  std::size_t idx_c1024 = 0;  // 0 = not present
   if (full) {
+    idx_c1024 = specs.size();
+    specs.push_back({"clos-1024", harness::TopoKind::kClos, 1024, 0.0, false,
+                     0, clos16_targets, clos16_dists, "clos-1024"});
     specs.push_back({"fig2-16/e1e-3", harness::TopoKind::kFigure2, 16, 1e-3,
                      false, 4, fig2_targets, fig2_dists});
     specs.push_back({"clos-64/e1e-3", harness::TopoKind::kClos, 64, 1e-3,
@@ -315,10 +341,24 @@ int main(int argc, char** argv) {
         "full-map cost: fig2-16 < clos-64");
   check(results[1].full_map_probes <= results[2].full_map_probes,
         "full-map cost: clos-64 <= clos-128");
+  check(results[2].full_map_probes < results[3].full_map_probes,
+        "full-map cost: clos-128 < clos-256");
   // The headline separation: a distance-1 remap on the 128-host fabric costs
   // a small fraction of what a full map of that fabric costs.
   check(results[2].rows[0].host_probes + results[2].rows[0].switch_probes <
             results[2].full_map_probes / 4,
         "clos-128 distance-1 remap ≪ full-map cost");
+  // Same claim one size up: the 320-switch k=16 fabric widens the gap.
+  check(results[3].rows[0].host_probes + results[3].rows[0].switch_probes <
+            results[3].full_map_probes / 4,
+        "clos-256 distance-1 remap ≪ full-map cost");
+  if (idx_c1024 != 0) {
+    check(results[3].full_map_probes < results[idx_c1024].full_map_probes,
+          "full-map cost: clos-256 < clos-1024");
+    check(results[idx_c1024].rows[0].host_probes +
+                  results[idx_c1024].rows[0].switch_probes <
+              results[idx_c1024].full_map_probes / 4,
+          "clos-1024 distance-1 remap ≪ full-map cost");
+  }
   return rc;
 }

@@ -3,14 +3,30 @@
 
 Usage: perf_floor.py run.json floor.json
 
-Every key in floor.json (except "comment") must be present in the run and
-measure at or above the floor value. Floors are set at half the recorded
-baseline — a red here means a >2x simulator-throughput regression; see
-docs/PERFORMANCE.md for provenance and how to re-baseline.
+Every numeric key in floor.json (except the meta keys below) must be present
+in the run and measure at or above the floor value. Floors are set at half
+the recorded baseline — a red here means a >2x simulator-throughput
+regression; see docs/PERFORMANCE.md for provenance and how to re-baseline.
+
+The floor file also declares the full key universe: every key the run JSON
+emits must be either a floor or listed in the floor file's "informational"
+array (keys recorded for trend-watching but not gated — wall times, raw
+counts, machine-dependent speedups). A run key absent from both is an error
+(exit 2, like metrics_diff.py's shape errors): it means bench_simcore
+gained an output that nobody decided how to gate, which is exactly how
+regressions sneak past a floor check that silently ignores unknown keys.
+
+Meta keys in floor.json: "comment" (provenance text) and "informational"
+(the ungated key list).
+
+Exit status: 0 = all floors hold, 1 = a floor regressed, 2 = usage/shape
+error (unknown run keys, or a floor key the run no longer reports).
 """
 
 import json
 import sys
+
+META_KEYS = ("comment", "informational")
 
 
 def main():
@@ -21,19 +37,41 @@ def main():
         run = json.load(f)
     with open(sys.argv[2]) as f:
         floor = json.load(f)
-    bad = []
-    for key, lo in floor.items():
-        if key == "comment":
-            continue
-        got = run.get(key)
-        if got is None or got < lo:
-            bad.append(f"  {key}: measured {got}, floor {lo}")
+
+    floors = {k: v for k, v in floor.items() if k not in META_KEYS}
+    informational = floor.get("informational", [])
+    if not isinstance(informational, list):
+        print(f"perf smoke SHAPE ERROR: \"informational\" in {sys.argv[2]} "
+              "must be a JSON array of key names", file=sys.stderr)
+        return 2
+
+    known = set(floors) | set(informational)
+    unknown = sorted(k for k in run if k not in known)
+    if unknown:
+        print("perf smoke SHAPE ERROR: run reports keys the floor file "
+              "doesn't know:", file=sys.stderr)
+        for k in unknown:
+            print(f"  {k}", file=sys.stderr)
+        print(f"Add each to {sys.argv[2]} — as a floor value to gate it, or "
+              "to the \"informational\" list to record it ungated.",
+              file=sys.stderr)
+        return 2
+
+    missing = sorted(k for k in floors if k not in run)
+    if missing:
+        print("perf smoke SHAPE ERROR: floor keys absent from the run "
+              "(bench output shrank or was renamed):", file=sys.stderr)
+        for k in missing:
+            print(f"  {k}", file=sys.stderr)
+        return 2
+
+    bad = [f"  {key}: measured {run[key]}, floor {lo}"
+           for key, lo in floors.items() if run[key] < lo]
     if bad:
         print("perf smoke FAILED (>2x regression vs recorded baseline):")
         print("\n".join(bad))
         return 1
-    print("perf smoke OK:",
-          ", ".join(f"{k}={run[k]}" for k in floor if k != "comment"))
+    print("perf smoke OK:", ", ".join(f"{k}={run[k]}" for k in floors))
     return 0
 
 

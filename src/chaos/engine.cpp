@@ -16,10 +16,10 @@ std::string num_str(double v) {
 
 }  // namespace
 
-ChaosEngine::ChaosEngine(sim::Scheduler& sched, net::Fabric& fabric,
+ChaosEngine::ChaosEngine(sim::Scheduler& sched, net::FaultInjector& injector,
                          Scenario scenario)
     : sched_(sched),
-      fabric_(fabric),
+      fabric_(injector),
       scenario_(std::move(scenario)),
       rng_(scenario_.seed) {
   ops_applied_ = &obs::Registry::of(sched).counter(

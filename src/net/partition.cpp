@@ -1,0 +1,149 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sanfault::net {
+
+namespace {
+
+constexpr std::uint32_t kUnowned = 0xffffffffu;
+
+void finalize(const Topology& topo, FabricPartition& fp) {
+  fp.lookahead.assign(static_cast<std::size_t>(fp.count) * fp.count,
+                      sim::kNever);
+  fp.cut_links = 0;
+  for (std::uint32_t l = 0; l < topo.num_links(); ++l) {
+    const auto [a, b] = topo.link_ends(LinkId{l});
+    const std::uint32_t oa = fp.owner_of(a.dev);
+    const std::uint32_t ob = fp.owner_of(b.dev);
+    if (oa == ob) continue;
+    ++fp.cut_links;
+    const sim::Duration lat = topo.link_model(LinkId{l}).latency;
+    sim::Duration& ab = fp.lookahead[oa * fp.count + ob];
+    sim::Duration& ba = fp.lookahead[ob * fp.count + oa];
+    ab = std::min(ab, lat);
+    ba = std::min(ba, lat);
+  }
+  // Min-plus transitive closure (Floyd–Warshall). The direct-cut matrix is
+  // NOT a valid conservative lookahead on its own: two partitions with no
+  // direct cut link still exchange causality through an intermediate one
+  // (figure-2's redundant tree cuts into a path, not a clique), and a
+  // horizon that ignores such a pair admits messages into its past. The
+  // closure is the tightest latency bound any multi-hop cut path can beat,
+  // so H_p = min_q(next_q + lookahead[q][p]) is safe for every reachable
+  // pair.
+  const std::size_t n = fp.count;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::Duration ik = fp.lookahead[i * n + k];
+      if (ik == sim::kNever) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const sim::Duration kj = fp.lookahead[k * n + j];
+        if (kj == sim::kNever) continue;
+        sim::Duration& ij = fp.lookahead[i * n + j];
+        ij = std::min(ij, ik + kj);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FabricPartition make_partition(const Topology& topo, std::uint32_t parts,
+                               std::vector<std::uint32_t> host_owner) {
+  if (parts == 0) parts = 1;
+  if (host_owner.size() != topo.num_hosts()) {
+    throw std::invalid_argument(
+        "make_partition: host_owner has " +
+        std::to_string(host_owner.size()) + " entries for " +
+        std::to_string(topo.num_hosts()) + " hosts");
+  }
+  for (std::uint32_t o : host_owner) {
+    if (o >= parts) {
+      throw std::invalid_argument("make_partition: host owner " +
+                                  std::to_string(o) + " >= parts " +
+                                  std::to_string(parts));
+    }
+  }
+
+  FabricPartition fp;
+  fp.count = parts;
+  fp.host_owner = std::move(host_owner);
+  fp.switch_owner.assign(topo.num_switches(), kUnowned);
+
+  // Majority propagation from the hosts, in rounds: a switch adopts the most
+  // common owner among already-assigned neighbors (tie: lowest partition id).
+  // Scanning switches in index order with a fixed tie-break keeps the result
+  // a pure function of (topology, assignment) — required for determinism.
+  std::vector<std::uint32_t> votes(parts);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+      if (fp.switch_owner[s] != kUnowned) continue;
+      std::fill(votes.begin(), votes.end(), 0);
+      bool any = false;
+      for (LinkId l : topo.links_at(Device::sw(SwitchId{s}))) {
+        const auto [a, b] = topo.link_ends(l);
+        const Device peer = (a.dev == Device::sw(SwitchId{s})) ? b.dev : a.dev;
+        const std::uint32_t o = fp.owner_of(peer);
+        if (o == kUnowned) continue;
+        ++votes[o];
+        any = true;
+      }
+      if (!any) continue;
+      const auto best = std::max_element(votes.begin(), votes.end());
+      // Only an unambiguous majority assigns; a tie means the switch is
+      // equidistant (a spine/core between balanced groups) and is left for
+      // the round-robin fallback so the shared layer spreads evenly instead
+      // of piling onto partition 0.
+      if (std::count(votes.begin(), votes.end(), *best) > 1) continue;
+      fp.switch_owner[s] =
+          static_cast<std::uint32_t>(best - votes.begin());
+      progressed = true;
+    }
+  }
+  // Anything still unowned is equidistant from every partition (Clos cores
+  // between balanced pod groups, or fully disconnected). Round-robin by
+  // index spreads that shared layer evenly.
+  std::uint32_t rr = 0;
+  for (std::uint32_t s = 0; s < topo.num_switches(); ++s) {
+    if (fp.switch_owner[s] == kUnowned) fp.switch_owner[s] = rr++ % parts;
+  }
+
+  finalize(topo, fp);
+  return fp;
+}
+
+FabricPartition partition_by_host_blocks(const Topology& topo,
+                                         std::uint32_t parts) {
+  if (parts == 0) parts = 1;
+  const auto n = static_cast<std::uint32_t>(topo.num_hosts());
+  parts = std::min(parts, std::max<std::uint32_t>(n, 1));
+  std::vector<std::uint32_t> owner(n);
+  for (std::uint32_t h = 0; h < n; ++h) {
+    // Contiguous blocks, remainder spread over the leading partitions.
+    owner[h] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(h) * parts) / std::max(n, 1u));
+  }
+  return make_partition(topo, parts, std::move(owner));
+}
+
+FabricPartition partition_clos_pods(const Topology& topo, std::uint32_t parts,
+                                    const std::vector<std::uint32_t>& host_pods,
+                                    std::uint32_t num_pods) {
+  if (parts == 0) parts = 1;
+  if (num_pods == 0) num_pods = 1;
+  parts = std::min(parts, num_pods);
+  std::vector<std::uint32_t> owner(host_pods.size());
+  for (std::size_t h = 0; h < host_pods.size(); ++h) {
+    const std::uint32_t pod = std::min(host_pods[h], num_pods - 1);
+    owner[h] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(pod) * parts) / num_pods);
+  }
+  return make_partition(topo, parts, std::move(owner));
+}
+
+}  // namespace sanfault::net

@@ -1,0 +1,75 @@
+// Topology partitioning for the parallel simulator.
+//
+// A FabricPartition splits one Topology's devices into P ownership classes
+// (logical processes for sim::ParallelScheduler). Partitioning is a pure
+// graph computation — no simulated time — and the result is consumed by two
+// layers:
+//  * the fabric shards (net::Fabric::bind_shard): a packet hop whose next
+//    device belongs to another partition is posted through the parallel
+//    engine instead of scheduled locally;
+//  * the engine's lookahead matrix: for each ordered partition pair, the
+//    minimum total latency over any (multi-hop) path of cut links bounds how
+//    soon an event in one partition can affect the other, which is what makes
+//    conservative safe-window execution possible (see
+//    sim/parallel_scheduler.hpp). The matrix is the min-plus closure of the
+//    direct-cut-link minima — direct minima alone are unsound when the
+//    partition graph is not a clique.
+//
+// Both builders are deterministic functions of (topology, part count) — the
+// parallel engine's bit-reproducibility contract starts here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::net {
+
+struct FabricPartition {
+  std::uint32_t count = 1;
+  std::vector<std::uint32_t> host_owner;    // by HostId
+  std::vector<std::uint32_t> switch_owner;  // by SwitchId
+  /// Minimum cut-path latency (min-plus closure over cut links),
+  /// [from * count + to]; sim::kNever when no cut path joins the pair.
+  std::vector<sim::Duration> lookahead;
+  std::uint32_t cut_links = 0;  // links whose ends differ in owner
+
+  [[nodiscard]] std::uint32_t owner_of(Device d) const {
+    return d.is_host() ? host_owner[d.as_host().v]
+                       : switch_owner[d.as_switch().v];
+  }
+  [[nodiscard]] sim::Duration pair_lookahead(std::uint32_t from,
+                                             std::uint32_t to) const {
+    return lookahead[from * count + to];
+  }
+};
+
+/// Partition from an explicit host assignment (values must be < parts).
+/// Switch owners are derived by deterministic majority propagation: starting
+/// from the hosts, every switch repeatedly takes the most common owner among
+/// its already-assigned neighbors (ties to the lowest partition id); switches
+/// equidistant from everything — e.g. Clos cores — fall back to round-robin
+/// by switch index. This keeps each edge/aggregation switch with its hosts'
+/// partition so that intra-partition traffic never crosses a cut link.
+FabricPartition make_partition(const Topology& topo,
+                               std::uint32_t parts,
+                               std::vector<std::uint32_t> host_owner);
+
+/// Hosts split into `parts` contiguous blocks by host id. The right default
+/// for host-locality workloads on single-switch / figure-2 fabrics.
+FabricPartition partition_by_host_blocks(const Topology& topo,
+                                         std::uint32_t parts);
+
+/// Pod-aligned Clos partitioning: pods are split into `parts` contiguous
+/// groups and every host follows its pod (host_pods[i] = pod of host i, as
+/// the harness computes it). Cut links are then exactly the agg<->core
+/// trunks, whose latency is the engine's lookahead.
+FabricPartition partition_clos_pods(const Topology& topo,
+                                    std::uint32_t parts,
+                                    const std::vector<std::uint32_t>& host_pods,
+                                    std::uint32_t num_pods);
+
+}  // namespace sanfault::net

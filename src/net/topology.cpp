@@ -465,4 +465,24 @@ ClosFabric make_clos_fabric(ClosConfig cfg) {
   return f;
 }
 
+std::optional<ClosConfig> clos_named_shape(std::string_view name) {
+  ClosConfig c;
+  if (name == "clos-64") {
+    c.k = 8;
+    c.num_hosts = 64;
+  } else if (name == "clos-128") {
+    c.k = 8;
+    c.num_hosts = 128;
+  } else if (name == "clos-256") {
+    c.k = 16;
+    c.num_hosts = 256;
+  } else if (name == "clos-1024") {
+    c.k = 16;
+    c.num_hosts = 1024;
+  } else {
+    return std::nullopt;
+  }
+  return c;
+}
+
 }  // namespace sanfault::net

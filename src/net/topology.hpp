@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "net/ids.hpp"
@@ -201,5 +202,14 @@ struct ClosFabric {
   ClosConfig cfg;               // normalized (num_hosts/core_group_size set)
 };
 ClosFabric make_clos_fabric(ClosConfig cfg = {});
+
+/// Canonical benchmark shapes, addressable by name so benches, tests and
+/// scripts agree on exactly one geometry per label:
+///   clos-64   k=8,  64 hosts   (partially-populated 8-ary tree)
+///   clos-128  k=8,  128 hosts  (fully-populated:  k^3/4)
+///   clos-256  k=16, 256 hosts  (quarter-populated 16-ary tree, 320 switches)
+///   clos-1024 k=16, 1024 hosts (fully-populated 16-ary tree)
+/// nullopt for unknown names.
+[[nodiscard]] std::optional<ClosConfig> clos_named_shape(std::string_view name);
 
 }  // namespace sanfault::net

@@ -1,0 +1,245 @@
+#include "sim/parallel_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sanfault::sim {
+
+ParallelScheduler::ParallelScheduler(Config cfg) : cfg_(cfg) {
+  if (cfg_.partitions == 0) cfg_.partitions = 1;
+  if (cfg_.min_lookahead == 0) cfg_.min_lookahead = 1;
+  parts_.reserve(cfg_.partitions);
+  for (std::uint32_t p = 0; p < cfg_.partitions; ++p) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  const std::size_t n = parts_.size();
+  channels_.resize(n * n);
+  for (std::uint32_t from = 0; from < n; ++from) {
+    for (std::uint32_t to = 0; to < n; ++to) {
+      if (from != to) {
+        channels_[from * n + to] = std::make_unique<SpscQueue<Message>>();
+      }
+    }
+  }
+  // Default: every pair coupled at the minimum lookahead. Partition binders
+  // (harness::ParallelCluster) overwrite this from the fabric's cut links.
+  lookahead_.assign(n * n, cfg_.min_lookahead);
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void ParallelScheduler::set_lookahead(std::uint32_t from, std::uint32_t to,
+                                      Duration d) {
+  if (d != kNever && d < cfg_.min_lookahead) d = cfg_.min_lookahead;
+  lookahead_[from * parts_.size() + to] = d;
+}
+
+void ParallelScheduler::post(std::uint32_t from, std::uint32_t to, Time t,
+                             Scheduler::EventFn fn) {
+  if (from == kControl || nthreads_ == 0) {
+    // Control events run with every worker parked (and pre-run posting has
+    // no workers at all), so scheduling straight into the target is safe —
+    // and sync_round() re-reads next-event times right after control runs,
+    // which keeps the horizon math aware of what was just posted.
+    local(to).at(t, std::move(fn));
+    return;
+  }
+  Partition& src = *parts_[from];
+  if (to == from) {
+    src.sched.at(t, std::move(fn));
+    return;
+  }
+  const Duration la = lookahead(from, to);
+  const Time lower =
+      la == kNever ? kNever : time_add(src.sched.now(), la);
+  if (t < lower) {
+    throw std::logic_error(
+        "ParallelScheduler::post: partition " + std::to_string(from) +
+        " -> " + std::to_string(to) + " at t=" + std::to_string(t) +
+        " violates lookahead (now=" + std::to_string(src.sched.now()) +
+        ", lookahead=" +
+        (la == kNever ? std::string("uncoupled") : std::to_string(la)) + ")");
+  }
+  channel(from, to).push(
+      Message{t, src.sched.now(), src.posted_seq++, from, std::move(fn)});
+}
+
+void ParallelScheduler::drain(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  auto& batch = part.drain_buf;
+  batch.clear();
+  const auto n = static_cast<std::uint32_t>(parts_.size());
+  for (std::uint32_t q = 0; q < n; ++q) {
+    if (q == p) continue;
+    Message m;
+    while (channel(q, p).pop(m)) batch.push_back(std::move(m));
+  }
+  // Canonical merge order: the receive time first, then the sender-side
+  // execution time, then (sender, per-sender seq). The (sender, seq) tail
+  // makes the key a strict total order — bit-identical scheduling for a
+  // fixed partition count — while the send-time term reproduces the serial
+  // oracle's FIFO tie-breaking whenever same-timestamp arrivals have
+  // different causes (see file header of parallel_scheduler.hpp).
+  std::sort(batch.begin(), batch.end(), [](const Message& a, const Message& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.sent != b.sent) return a.sent < b.sent;
+    if (a.sender != b.sender) return a.sender < b.sender;
+    return a.seq < b.seq;
+  });
+  part.messages += batch.size();
+  for (Message& m : batch) {
+    if (m.t < part.sched.now()) {
+      throw std::logic_error(
+          "ParallelScheduler::drain: partition " + std::to_string(p) +
+          " (now=" + std::to_string(part.sched.now()) +
+          ", horizon=" + std::to_string(part.horizon) +
+          ") received past message t=" + std::to_string(m.t) + " from " +
+          std::to_string(m.sender) + " (sent=" + std::to_string(m.sent) +
+          ", seq=" + std::to_string(m.seq) + ")");
+    }
+    part.sched.at(m.t, std::move(m.fn));
+  }
+  batch.clear();
+  part.next = part.sched.peek_next_time();
+}
+
+void ParallelScheduler::execute(std::uint32_t p) {
+  parts_[p]->sched.run_before(parts_[p]->horizon);
+}
+
+// Runs on the last thread arriving at the drain barrier; every other worker
+// is parked, so this is the one place shared simulation state may be touched.
+void ParallelScheduler::sync_round() {
+  ++stats_.windows;
+  const std::size_t n = parts_.size();
+  const Time cap_bound = cap_ == kNever ? kNever : cap_ + 1;
+
+  if (stop_predicate_ && stop_predicate_()) {
+    done_ = true;
+    return;
+  }
+
+  Time m = kNever;
+  for (const auto& part : parts_) m = std::min(m, part->next);
+
+  // Global-sync (control) events: once no partition holds work below the
+  // control queue's head, run it — fault campaigns mutate shared topology
+  // here. Control events may post into partitions, so re-read next-event
+  // times afterwards; the horizon math below must see that new work.
+  for (;;) {
+    const Time g = control_.peek_next_time();
+    if (g == kNever || g > m || g > cap_) break;
+    control_.run_until(g);
+    m = kNever;
+    for (auto& part : parts_) {
+      part->next = part->sched.peek_next_time();
+      m = std::min(m, part->next);
+    }
+  }
+  stats_.control_events = control_.events_executed();
+
+  const Time g = control_.peek_next_time();
+  if (std::min(m, g) >= cap_bound) {
+    // Nothing left at or below the cap: advance every clock to it and stop.
+    if (cap_ != kNever) {
+      for (auto& part : parts_) part->sched.run_until(cap_);
+      control_.run_until(cap_);
+    }
+    done_ = true;
+    return;
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    Time h = std::min(g, cap_bound);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      const Duration la = lookahead_[q * n + p];
+      if (la == kNever) continue;
+      h = std::min(h, time_add(parts_[q]->next, la));
+    }
+    parts_[p]->horizon = h;
+  }
+}
+
+void ParallelScheduler::barrier_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++stats_.barriers;
+  if (++arrived_ == nthreads_) {
+    arrived_ = 0;
+    if (in_drain_phase_) {
+      // A worker exception poisons the run: skip the sync (its partition
+      // state is mid-flight) and let every worker exit at this boundary.
+      if (error_) {
+        done_ = true;
+      } else {
+        sync_round();
+      }
+    }
+    in_drain_phase_ = !in_drain_phase_;
+    ++barrier_phase_;
+    cv_.notify_all();
+  } else {
+    const std::uint64_t phase = barrier_phase_;
+    cv_.wait(lk, [&] { return barrier_phase_ != phase; });
+  }
+}
+
+void ParallelScheduler::worker_loop(std::uint32_t w) {
+  // Exceptions from simulation events (or lookahead-violating posts) must
+  // not escape a std::thread — record the first one and keep honoring the
+  // barrier protocol with no-op phases, so every peer reaches the next
+  // drain barrier and the completion can end the run. run_until rethrows.
+  const auto record = [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  };
+  const auto n = static_cast<std::uint32_t>(parts_.size());
+  for (;;) {
+    try {
+      for (std::uint32_t p = w; p < n; p += nthreads_) drain(p);
+    } catch (...) {
+      record();
+    }
+    barrier_wait();  // completion runs sync_round (in_drain_phase_ is true)
+    if (done_) return;
+    try {
+      for (std::uint32_t p = w; p < n; p += nthreads_) execute(p);
+    } catch (...) {
+      record();
+    }
+    barrier_wait();  // phase separation only: channels quiesce before drains
+  }
+}
+
+void ParallelScheduler::run_until(Time t) {
+  cap_ = t;
+  done_ = false;
+  in_drain_phase_ = true;  // the first barrier every worker hits follows drain
+  const auto n = static_cast<std::uint32_t>(parts_.size());
+  std::uint32_t want = cfg_.threads == 0 ? n : cfg_.threads;
+  nthreads_ = std::min(std::max<std::uint32_t>(want, 1), n);
+
+  std::vector<std::thread> workers;
+  workers.reserve(nthreads_ - 1);
+  for (std::uint32_t w = 1; w < nthreads_; ++w) {
+    workers.emplace_back([this, w] { worker_loop(w); });
+  }
+  worker_loop(0);
+  for (auto& th : workers) th.join();
+  nthreads_ = 0;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+
+  stats_.events_executed = control_.events_executed();
+  stats_.messages = 0;
+  for (const auto& part : parts_) {
+    stats_.events_executed += part->sched.events_executed();
+    stats_.messages += part->messages;
+  }
+}
+
+}  // namespace sanfault::sim

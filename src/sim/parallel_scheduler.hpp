@@ -1,0 +1,192 @@
+// Conservative parallel discrete-event engine (PDES).
+//
+// The serial sim::Scheduler executes one big simulation on one core — the
+// binding constraint on fabric-scale (clos-256/1024) runs. This engine
+// partitions a simulation into P *logical processes*, each wrapping an
+// unchanged serial Scheduler, and executes them on worker threads under the
+// classic barrier-synchronized safe-window protocol:
+//
+//   round:
+//     drain    each partition merges its inbound cross-partition events
+//              (canonical order, see below) into its local event queue and
+//              publishes N_p, its next local event time;
+//     sync     one barrier completion computes, per partition, the horizon
+//                H_p = min over q != p of (N_q + lookahead(q, p))
+//              capped by the control queue's next event and the run cap.
+//              lookahead(q, p) is the minimum latency of any fabric link cut
+//              by the partition boundary (net::FabricPartition): an event
+//              executing in q at time t can only produce work for p at
+//              t + lookahead or later, so everything below H_p is safe —
+//              this is the null-message lower-bound-timestamp argument with
+//              the exchange batched into one barrier;
+//     execute  each partition runs its local events with time < H_p,
+//              posting cross-partition work through lock-free SPSC channels
+//              (sim/spsc.hpp, one per ordered partition pair).
+//
+// Control partition: a separate serial Scheduler whose events run *between*
+// windows, on one thread, with every worker parked and every partition
+// synchronized to the event's timestamp. Chaos fault campaigns live here —
+// a fault mutates the shared net::Topology, which partitions read freely
+// during windows, so mutations must happen at these global sync points.
+//
+// Determinism contract (tested by tests/parallel_sched_test.cpp and the
+// serial-vs-parallel battery in tests/parallel_equiv_test.cpp):
+//  * for a fixed partition count, results are bit-identical across reruns
+//    AND across worker-thread counts: partitions execute serially inside a
+//    window, windows are separated by barriers, and inbound events are
+//    merged in the canonical order (time, send_time, sender, sender_seq) —
+//    per-partition sequence namespaces never leak across the boundary;
+//  * the (time, send_time, sender, sender_seq) merge key makes cross-
+//    partition tie-breaking match the serial oracle whenever same-timestamp
+//    events differ in their causes' execution times, which is what keeps
+//    e2e_wire_tx and exported metrics byte-identical to a serial run of the
+//    same seed on the workloads the battery pins down.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/spsc.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::sim {
+
+class ParallelScheduler {
+ public:
+  struct Config {
+    /// Logical processes. This — not the worker-thread count — is what the
+    /// deterministic results are keyed to ("--sim-threads N" sets it).
+    std::uint32_t partitions = 1;
+    /// Worker threads executing the partitions (partition p is owned by
+    /// worker p % threads). 0 = one per partition. Results are identical
+    /// for any value; fewer threads just serialize more partitions per core.
+    std::uint32_t threads = 0;
+    /// Floor for every pair lookahead; must be >= 1 ns or the safe-window
+    /// recursion cannot make progress past simultaneous events.
+    Duration min_lookahead = 1;
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;          // execute rounds run
+    std::uint64_t barriers = 0;         // barrier crossings (2 per round)
+    std::uint64_t messages = 0;         // cross-partition events delivered
+    std::uint64_t control_events = 0;   // global-sync events executed
+    std::uint64_t events_executed = 0;  // sum over partitions at last run end
+  };
+
+  explicit ParallelScheduler(Config cfg);
+  ~ParallelScheduler();
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  [[nodiscard]] std::uint32_t partitions() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+
+  /// Partition p's local event queue. Components owned by partition p are
+  /// built against this scheduler and must only be touched by events running
+  /// on it (or before run() / between runs, from the coordinating thread).
+  [[nodiscard]] Scheduler& local(std::uint32_t p) { return parts_[p]->sched; }
+
+  /// The control queue. Its events execute at global sync points: every
+  /// partition's clock is at the event's time and no worker is running, so
+  /// a control event may mutate state the partitions share (topology fault
+  /// flags, per-shard fault knobs) and may post() into any partition.
+  [[nodiscard]] Scheduler& control() { return control_; }
+
+  /// Lower-bound latency for events posted from partition `from` to `to`.
+  /// Clamped up to Config::min_lookahead. kNever = the pair never exchanges
+  /// events (no cut link), which exempts it from the horizon min.
+  void set_lookahead(std::uint32_t from, std::uint32_t to, Duration d);
+  [[nodiscard]] Duration lookahead(std::uint32_t from, std::uint32_t to) const {
+    return lookahead_[from * parts_.size() + to];
+  }
+
+  /// Post an event into partition `to` at absolute time `t`. Callable from
+  /// an event executing in partition `from` (the hot path: fabric packet
+  /// handoff), or from a control event / outside a run with from == kControl.
+  /// `t` must respect the pair's lookahead from the sender's current time —
+  /// violating it throws std::logic_error (a partitioning bug, never a
+  /// runtime condition).
+  static constexpr std::uint32_t kControl = 0xffffffffu;
+  void post(std::uint32_t from, std::uint32_t to, Time t,
+            Scheduler::EventFn fn);
+
+  /// Run until every partition queue, channel, and the control queue drain.
+  void run() { run_until(kNever); }
+
+  /// Run events with time <= t on every partition (control included), then
+  /// advance all clocks to t. Matches serial Scheduler::run_until so the
+  /// oracle and the parallel engine can be compared at one sim instant.
+  void run_until(Time t);
+
+  /// Evaluated at every sync point (workers parked). Returning true ends
+  /// the run early — partitions stop at a window boundary, deterministic
+  /// for a fixed partition count.
+  void set_stop_predicate(std::function<bool()> fn) {
+    stop_predicate_ = std::move(fn);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    Time t = 0;            // execute-at time in the receiving partition
+    Time sent = 0;         // sender's clock at post() — canonical-merge key
+    std::uint64_t seq = 0;       // per-sender sequence (sender order)
+    std::uint32_t sender = 0;    // posting partition — canonical-merge key
+    Scheduler::EventFn fn;
+  };
+
+  struct Partition {
+    Scheduler sched;
+    Time next = 0;                  // published next-event time (drain phase)
+    Time horizon = 0;               // safe-execution bound (sync phase)
+    std::uint64_t posted_seq = 0;   // per-sender running seq (all channels)
+    std::uint64_t messages = 0;     // inbound cross-partition events merged
+    std::vector<Message> drain_buf;  // reused merge scratch (drain phase)
+    alignas(64) char pad[64]{};     // keep hot fields off shared lines
+  };
+
+  void drain(std::uint32_t p);
+  void execute(std::uint32_t p);
+  void worker_loop(std::uint32_t w);
+  void sync_round();  // barrier completion: control events, horizons, stop
+  [[nodiscard]] SpscQueue<Message>& channel(std::uint32_t from,
+                                            std::uint32_t to) {
+    return *channels_[from * parts_.size() + to];
+  }
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::unique_ptr<SpscQueue<Message>>> channels_;
+  std::vector<Duration> lookahead_;  // [from * P + to], kNever = no coupling
+  Scheduler control_;
+  std::function<bool()> stop_predicate_;
+  Stats stats_;
+
+  // --- run-loop coordination (live only inside run_until) ------------------
+  // Centralized sense-reversing barrier with a completion hook. std::barrier
+  // would do, but the explicit version keeps the completion running on the
+  // *last-arriving* thread with a plain mutex/condvar pair that TSAN models
+  // exactly, and lets run_until reuse the calling thread as worker 0.
+  void barrier_wait();
+  std::uint32_t nthreads_ = 0;
+  std::uint32_t arrived_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+  bool in_drain_phase_ = false;  // toggled by the completion, under mu_
+  Time cap_ = kNever;
+  bool done_ = false;
+  std::exception_ptr error_;  // first worker exception; rethrown by run_until
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace sanfault::sim

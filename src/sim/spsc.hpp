@@ -1,0 +1,76 @@
+// Lock-free single-producer/single-consumer event channel.
+//
+// The parallel scheduler (sim/parallel_scheduler.hpp) wires one SpscQueue per
+// ordered partition pair: the owning worker of partition p is the only
+// producer on the (p -> q) channel and the owner of q the only consumer, so
+// the unbounded Vyukov node-queue shape applies — push links a new node with
+// a release store, pop follows `next` with an acquire load, and neither side
+// ever takes a lock or spins on the other.
+//
+// The barrier-synchronized safe-window protocol drains channels only while
+// every producer is parked, so the queue's concurrency headroom is belt and
+// braces today; it is what lets a future optimistic/streaming sync mode drain
+// mid-window without touching this layer.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace sanfault::sim {
+
+template <class T>
+class SpscQueue {
+ public:
+  SpscQueue() {
+    Node* stub = new Node{};
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Allocates one node per element; the consumer frees it.
+  void push(T value) {
+    Node* n = new Node{std::move(value)};
+    Node* prev = tail_.load(std::memory_order_relaxed);
+    // Single producer: no CAS needed, tail_ is only advanced here.
+    tail_.store(n, std::memory_order_relaxed);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer side: pop the oldest element into `out`. False when empty (or
+  /// when the producer's link store has not yet become visible — callers
+  /// synchronize rounds externally, see header comment).
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (same visibility caveat as pop()).
+  [[nodiscard]] bool empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  Node* head_;                // consumer-owned (stub node pattern)
+  std::atomic<Node*> tail_;   // producer-owned
+};
+
+}  // namespace sanfault::sim

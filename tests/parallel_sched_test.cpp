@@ -1,0 +1,216 @@
+// Unit tests for the conservative parallel scheduler (sim/parallel_scheduler)
+// and its SPSC event channel: safe-window causality, canonical merge order,
+// control-queue global sync, and the determinism contract across worker
+// thread counts. Whole-stack serial-vs-parallel equivalence lives in
+// parallel_equiv_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/parallel_scheduler.hpp"
+#include "sim/spsc.hpp"
+#include "sim/time.hpp"
+
+namespace sanfault::sim {
+namespace {
+
+TEST(SpscQueue, FifoAndEmpty) {
+  SpscQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 100; ++i) q.push(i);
+  EXPECT_FALSE(q.empty());
+  int v = -1;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+  SpscQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(ParallelScheduler, SinglePartitionRunsLikeSerial) {
+  ParallelScheduler eng({/*partitions=*/1});
+  std::vector<int> order;
+  eng.local(0).at(30, [&] { order.push_back(3); });
+  eng.local(0).at(10, [&] { order.push_back(1); });
+  eng.local(0).at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.local(0).now(), 30u);
+  EXPECT_EQ(eng.stats().events_executed, 3u);
+}
+
+TEST(ParallelScheduler, RunUntilAdvancesEveryClockToCap) {
+  ParallelScheduler eng({/*partitions=*/3});
+  eng.local(1).at(100, [] {});
+  eng.run_until(5000);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(eng.local(p).now(), 5000u) << "partition " << p;
+  }
+  EXPECT_EQ(eng.control().now(), 5000u);
+}
+
+TEST(ParallelScheduler, CrossPartitionPostArrivesAtRequestedTime) {
+  ParallelScheduler eng({/*partitions=*/2});
+  Time seen = kNever;
+  eng.local(0).at(10, [&] {
+    eng.post(0, 1, 10 + 7, [&] { seen = eng.local(1).now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 17u);
+  EXPECT_EQ(eng.stats().messages, 1u);
+}
+
+TEST(ParallelScheduler, LookaheadViolationThrows) {
+  // Worker exceptions are captured at the next barrier and rethrown by
+  // run(), regardless of which worker thread hit them.
+  ParallelScheduler eng({/*partitions=*/2, /*threads=*/0, /*min_lookahead=*/5});
+  eng.local(0).at(10, [&] {
+    eng.post(0, 1, 12, [] {});  // needs t >= 15
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(ParallelScheduler, UncoupledPairRejectsPosts) {
+  ParallelScheduler eng({/*partitions=*/2, /*threads=*/1});
+  eng.set_lookahead(0, 1, kNever);
+  eng.local(0).at(10, [&] { eng.post(0, 1, 10'000'000, [] {}); });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+// A relay ring: each hop records (partition, time) and forwards to the next
+// partition. Exercises chained cross-partition causality over many windows.
+struct Relay {
+  ParallelScheduler* eng;
+  std::vector<std::vector<std::pair<Time, int>>> log;  // per partition
+
+  explicit Relay(ParallelScheduler* e) : eng(e), log(e->partitions()) {}
+
+  void hop(std::uint32_t p, int ttl, int id) {
+    log[p].emplace_back(eng->local(p).now(), id);
+    if (ttl == 0) return;
+    const std::uint32_t q = (p + 1) % eng->partitions();
+    eng->post(p, q, eng->local(p).now() + 7,
+              [this, q, ttl, id] { hop(q, ttl - 1, id); });
+  }
+};
+
+TEST(ParallelScheduler, RelayRingCompletesInCausalOrder) {
+  ParallelScheduler eng({/*partitions=*/4});
+  Relay relay(&eng);
+  for (int id = 0; id < 8; ++id) {
+    const auto p = static_cast<std::uint32_t>(id) % 4;
+    eng.post(ParallelScheduler::kControl, p, static_cast<Time>(1 + id),
+             [&relay, p, id] { relay.hop(p, 40, id); });
+  }
+  eng.run();
+  // 8 tokens x 41 hops, each recorded exactly once.
+  std::size_t hops = 0;
+  for (const auto& part_log : relay.log) {
+    Time prev = 0;
+    for (const auto& [t, id] : part_log) {
+      EXPECT_GE(t, prev);  // per-partition execution is time-ordered
+      prev = t;
+    }
+    hops += part_log.size();
+  }
+  EXPECT_EQ(hops, 8u * 41u);
+  EXPECT_GT(eng.stats().windows, 1u);
+}
+
+std::vector<std::vector<std::pair<Time, int>>> run_relay(
+    std::uint32_t threads) {
+  ParallelScheduler eng({/*partitions=*/4, threads});
+  Relay relay(&eng);
+  for (int id = 0; id < 8; ++id) {
+    const auto p = static_cast<std::uint32_t>(id) % 4;
+    eng.post(ParallelScheduler::kControl, p, static_cast<Time>(1 + id),
+             [&relay, p, id] { relay.hop(p, 40, id); });
+  }
+  eng.run();
+  return std::move(relay.log);
+}
+
+TEST(ParallelScheduler, BitIdenticalAcrossWorkerThreadCounts) {
+  const auto base = run_relay(1);
+  EXPECT_EQ(run_relay(2), base);
+  EXPECT_EQ(run_relay(4), base);
+  EXPECT_EQ(run_relay(8), base);  // more threads than partitions: clamped
+}
+
+TEST(ParallelScheduler, ControlEventsRunAtGlobalSyncPoints) {
+  ParallelScheduler eng({/*partitions=*/2});
+  int shared = 0;  // mutated ONLY by the control event
+  std::vector<int> seen_p0, seen_p1;
+  for (Time t : {10u, 20u, 30u, 40u}) {
+    eng.local(0).at(t, [&] { seen_p0.push_back(shared); });
+    eng.local(1).at(t + 1, [&] { seen_p1.push_back(shared); });
+  }
+  eng.control().at(25, [&] {
+    // Every partition is parked with its clock synchronized below us.
+    EXPECT_LE(eng.local(0).now(), 25u);
+    EXPECT_LE(eng.local(1).now(), 25u);
+    shared = 1;
+  });
+  eng.run();
+  EXPECT_EQ(seen_p0, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(seen_p1, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(eng.stats().control_events, 1u);
+}
+
+TEST(ParallelScheduler, ControlEventCanPostIntoPartitions) {
+  ParallelScheduler eng({/*partitions=*/2});
+  Time seen = kNever;
+  eng.local(0).at(100, [] {});  // keeps partition 0 alive past the post
+  eng.control().at(50, [&] {
+    eng.post(ParallelScheduler::kControl, 0, 60,
+             [&] { seen = eng.local(0).now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 60u);
+}
+
+TEST(ParallelScheduler, StopPredicateEndsRunAtWindowBoundary) {
+  ParallelScheduler eng({/*partitions=*/2});
+  // Both partitions hold events, so the 1-ns pair lookahead keeps windows
+  // narrow and the predicate (checked at each sync point) fires early.
+  int executed0 = 0;
+  int executed1 = 0;
+  for (Time t = 1; t <= 1000; ++t) {
+    eng.local(0).at(t, [&] { ++executed0; });
+    eng.local(1).at(t, [&] { ++executed1; });
+  }
+  eng.set_stop_predicate([&] { return executed0 >= 10; });
+  eng.run();
+  EXPECT_GE(executed0, 10);
+  EXPECT_LT(executed0, 1000);
+  EXPECT_LT(executed1, 1000);
+}
+
+TEST(ParallelScheduler, SequentialRunUntilCallsCompose) {
+  ParallelScheduler eng({/*partitions=*/2});
+  std::vector<Time> fired;
+  eng.local(0).at(100, [&] { fired.push_back(100); });
+  eng.local(1).at(900, [&] { fired.push_back(900); });
+  eng.run_until(500);
+  EXPECT_EQ(fired, (std::vector<Time>{100}));
+  EXPECT_EQ(eng.local(1).now(), 500u);
+  eng.run_until(1000);
+  EXPECT_EQ(fired, (std::vector<Time>{100, 900}));
+}
+
+}  // namespace
+}  // namespace sanfault::sim

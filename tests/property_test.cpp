@@ -387,6 +387,13 @@ TEST_P(ReliabilityBattery, StaleGenerationDropsOnlyAfterGenerationRestart) {
   cfg.fabric.seed = seed;
   cfg.mapper = harness::MapperKind::kOnDemand;  // resets re-map on demand
   cfg.ondemand.probe_retries = 6;  // probes must survive the lossy wires
+  // The reorder schedule below delays individual traversals by up to 220 us,
+  // and a probe RTT crosses several links each way — the 300 us default
+  // timeout would count a merely-delayed reply as a dead port, and an
+  // unlucky streak of those can fail the whole remap (marking the peer
+  // unreachable, which this test's delivery assertion forbids). Give probes
+  // a timeout that cumulative reorder delay cannot starve.
+  cfg.ondemand.probe_timeout = sim::milliseconds(2);
   harness::Cluster c(cfg);
   // Heavy reordering: packets from the pre-reset generation get delayed past
   // the renumbered post-restart stream and arrive recognizably stale.
