@@ -37,9 +37,18 @@
 // event log, wire totals and metrics JSON to --log. CI runs it at N=0 and
 // N=4 and byte-compares the two files (see .github/workflows/ci.yml).
 //
+// Two state-corruption modes ride along (docs/CHAOS.md "State corruption"):
+// `--corrupt-smoke` runs one fixed-seed convergence cell per corruption
+// class and emits a byte-comparable artifact (verify.sh double-runs and
+// diffs it); `--soak <seed> [--soak-cases N]` derives N randomized cases
+// from the master seed — the nightly workflow's randomized battery, whose
+// artifact records every case's scenario DSL for exact replay.
+//
 //   ./build/bench/bench_chaos [--quick] [--json <file>]
 //                             [--metrics-json <file>] [--log <file>]
 //                             [--jobs <N>] [--sim-threads <N>]
+//                             [--corrupt-smoke] [--soak <seed>]
+//                             [--soak-cases <N>]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -48,13 +57,17 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "chaos/corruptor.hpp"
 #include "chaos/engine.hpp"
 #include "chaos/recovery.hpp"
 #include "chaos/scenario.hpp"
+#include "firmware/reliability.hpp"
 #include "harness/cluster.hpp"
+#include "sim/rng.hpp"
 #include "harness/parallel_cluster.hpp"
 #include "harness/table.hpp"
 #include "kv/audit.hpp"
@@ -579,6 +592,390 @@ std::string run_sim_threads_smoke(unsigned threads) {
          chaos_log + "stats: " + stats + "\nmetrics: " + metrics + "\n";
 }
 
+// ---------------------------------------------------------------------------
+// State-corruption convergence cell, shared by --corrupt-smoke (fixed seed,
+// all six classes, byte-comparable artifact) and --soak (randomized cases
+// derived from a master seed; the nightly workflow's needle-mover). Mirrors
+// the tests/property_test SelfStabilization battery: three DSL-driven live
+// corruptions plus a trunk kill, then Phase A loss/order accounting, a
+// scrub/restart witness, and a post-horizon exactly-once Phase B burst.
+
+constexpr const char* kCorruptClasses[6] = {"seq",        "ack",
+                                            "gen",        "retx_queue",
+                                            "path_cache", "backup_slot"};
+
+struct CorruptCaseResult {
+  std::string dsl;        // exact scenario text — the replay recipe
+  std::string chaos_log;  // engine log incl. corruption audit lines
+  std::string fw_stats;   // endpoint scrub/restart counters
+  std::uint64_t applied = 0;
+  std::uint64_t witness = 0;
+  std::string metrics_json;
+  std::vector<std::string> violations;  // empty == converged
+  [[nodiscard]] bool converged() const { return violations.empty(); }
+};
+
+/// Links a route traverses from `src`, access link first; empty when the
+/// route dead-ends (only possible for corrupted routes, never the primary).
+std::vector<net::LinkId> corrupt_route_links(const harness::Cluster& c,
+                                             std::size_t src,
+                                             const net::Route& r) {
+  std::vector<net::LinkId> links;
+  auto att = c.topo.peer_of({net::Device::host(c.hosts[src]), 0});
+  if (!att.has_value()) return links;
+  links.push_back(att->link);
+  net::Device cur = att->peer.dev;
+  for (const std::uint8_t p : r.ports) {
+    auto hop = c.topo.peer_of({cur, p});
+    if (!hop.has_value()) return {};
+    links.push_back(hop->link);
+    cur = hop->peer.dev;
+  }
+  return links;
+}
+
+CorruptCaseResult run_corrupt_case(harness::TopoKind topo,
+                                   std::size_t num_hosts, int cls,
+                                   std::uint64_t seed, bool want_metrics) {
+  CorruptCaseResult out;
+  const char* cls_name = kCorruptClasses[cls];
+  sim::Rng knobs(seed ^ 0x5E1F57ABull);
+  harness::ClusterConfig cfg;
+  cfg.num_hosts = num_hosts;
+  cfg.topo = topo;
+  cfg.fw = harness::FirmwareKind::kReliable;
+  cfg.mapper = harness::MapperKind::kOnDemand;
+  cfg.ondemand.proactive_backup = true;
+  cfg.ondemand.probe_retries = 6;
+  cfg.ondemand.probe_timeout = sim::milliseconds(2);
+  cfg.rel.fail_threshold = sim::milliseconds(10);
+  cfg.rel.fail_min_rounds = 8;
+  cfg.nic.send_buffers = 64;
+  cfg.fabric.seed = seed;
+  harness::Cluster c(cfg);
+
+  std::size_t dsti = 0;
+  std::vector<net::LinkId> plinks;
+  for (std::size_t h = 1; h < c.hosts.size(); ++h) {
+    auto r = c.topo.shortest_route(c.hosts[0], c.hosts[h]);
+    if (!r.has_value()) continue;
+    auto links = corrupt_route_links(c, 0, *r);
+    if (links.size() >= 4) {
+      dsti = h;
+      plinks = std::move(links);
+      break;
+    }
+  }
+  if (dsti == 0) {
+    out.violations.emplace_back("no multi-trunk destination in topology");
+    return out;
+  }
+  for (std::uint32_t l = 0; l < c.topo.num_links(); ++l) {
+    auto& lf = c.fabric().link_faults(net::LinkId{l});
+    lf.loss_prob = 0.02 * knobs.uniform_double();
+    lf.dup_prob = 0.02 * knobs.uniform_double();
+  }
+
+  const bool dst_side = cls == 1 || (cls == 2 && seed % 2 == 1);
+  const std::uint32_t chost = dst_side ? c.hosts[dsti].v : c.hosts[0].v;
+  const std::uint32_t cpeer = dst_side ? c.hosts[0].v : c.hosts[dsti].v;
+  const bool pin_peer = cls == 4;  // see property_test: flips must land live
+  const char* modes[] = {"flip", "zero", "rand"};
+  std::ostringstream sc;
+  sc << "scenario soak-" << cls_name << "-" << seed << "\nseed " << seed
+     << "\n"
+     << "at 2ms corrupt host=" << chost << " state=" << cls_name
+     << " mode=" << modes[seed % 3]
+     << (pin_peer ? " peer=" + std::to_string(cpeer) : "") << "\n"
+     << "at 2600us corrupt host=" << chost << " state=" << cls_name
+     << " mode=" << modes[(seed + 1) % 3] << " peer=" << cpeer << "\n"
+     << "at 3200us corrupt host=" << chost << " state=" << cls_name
+     << " mode=" << modes[(seed + 2) % 3]
+     << (pin_peer ? " peer=" + std::to_string(cpeer) : "") << "\n"
+     << "at " << (cls == 3 ? "1500us" : "4ms")
+     << " link_down link=" << plinks[1].v << "\n";
+  out.dsl = sc.str();
+
+  chaos::ChaosEngine eng(c.sched, c.fabric(),
+                         chaos::Scenario::parse(out.dsl));
+  chaos::StateCorruptor corr(c.sched, seed ^ 0xC0DE5EEDull);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    corr.bind(c.hosts[i], &c.rel(i), &c.mapper(i));
+  }
+  eng.set_corruptor(&corr);
+  eng.arm();
+
+  std::uint64_t witness_events = 0;
+  const auto witness_hook = [&](const firmware::FwEvent& ev) {
+    const bool counts = ev.kind == firmware::FwEvent::Kind::kScrubRepair ||
+                        ev.kind == firmware::FwEvent::Kind::kGenRestart ||
+                        ev.kind == firmware::FwEvent::Kind::kNicReset;
+    if (counts && c.sched.now() >= sim::milliseconds(2)) ++witness_events;
+  };
+  c.rel(0).set_event_hook(witness_hook);
+  c.rel(dsti).set_event_hook(witness_hook);
+
+  constexpr std::uint64_t kPhaseA = 40;
+  constexpr std::uint64_t kPhaseB = 20;
+  constexpr std::uint64_t kBTag = 100;
+  std::vector<std::uint64_t> tags;
+  c.nic(dsti).set_host_rx([&](net::UserHeader u, net::PayloadRef,
+                              net::HostId) { tags.push_back(u.w0); });
+  for (std::uint64_t i = 0; i < kPhaseA; ++i) {
+    c.sched.after(static_cast<sim::Duration>(i) * sim::microseconds(300),
+                  [&c, dsti, i] {
+                    net::UserHeader u;
+                    u.w0 = i;
+                    c.send(0, dsti,
+                           std::vector<std::uint8_t>(
+                               96, static_cast<std::uint8_t>(i)),
+                           u);
+                  });
+  }
+  const auto drained = [&] {
+    if (c.sched.now() < sim::milliseconds(13)) return false;
+    const firmware::TxChannel* ch = c.rel(0).chaos_tx_channel(c.hosts[dsti]);
+    return ch != nullptr && ch->retrans_queue.empty() &&
+           !ch->remap_in_flight && !ch->unreachable;
+  };
+  while (!drained() && c.sched.now() < sim::seconds(120) && c.sched.step()) {
+  }
+  c.sched.run_until(c.sched.now() + sim::milliseconds(20));
+
+  out.applied = corr.applied();
+  out.witness = witness_events;
+  if (out.applied == 0) {
+    out.violations.emplace_back("no corruption rewrote live state");
+  }
+  if (witness_events == 0) {
+    out.violations.emplace_back(
+        "corruption repaired with no scrub/restart witness");
+  }
+
+  // Phase A accounting (see the battery for why `ack` is exempt from the
+  // ordering check and gets a loss allowance instead).
+  std::vector<char> seen_a(kPhaseA, 0);
+  std::uint64_t prev_first = 0;
+  bool have_first = false;
+  std::size_t distinct_a = 0;
+  for (std::uint64_t t : tags) {
+    if (t >= kPhaseA || seen_a[t] != 0) continue;
+    seen_a[t] = 1;
+    ++distinct_a;
+    if (have_first && cls != 1 && t <= prev_first) {
+      out.violations.push_back("phase A first deliveries reordered: " +
+                               std::to_string(t) + " after " +
+                               std::to_string(prev_first));
+    }
+    prev_first = t;
+    have_first = true;
+  }
+  if (cls == 1 ? distinct_a < kPhaseA - 12 : distinct_a != kPhaseA) {
+    out.violations.push_back("phase A silent loss: " +
+                             std::to_string(distinct_a) + "/" +
+                             std::to_string(kPhaseA) + " delivered");
+  }
+
+  // Phase B: past the scrub horizon, exactly-once in order again.
+  const std::size_t b_start = tags.size();
+  for (std::uint64_t i = 0; i < kPhaseB; ++i) {
+    c.sched.after(static_cast<sim::Duration>(i) * sim::microseconds(300),
+                  [&c, dsti, i] {
+                    net::UserHeader u;
+                    u.w0 = kBTag + i;
+                    c.send(0, dsti,
+                           std::vector<std::uint8_t>(
+                               96, static_cast<std::uint8_t>(i)),
+                           u);
+                  });
+  }
+  std::vector<char> seen_b(kPhaseB, 0);
+  const auto b_done = [&] {
+    std::size_t d = 0;
+    for (std::size_t i = b_start; i < tags.size(); ++i) {
+      const std::uint64_t t = tags[i];
+      if (t >= kBTag && t < kBTag + kPhaseB) seen_b[t - kBTag] = 1;
+    }
+    for (char s : seen_b) d += (s != 0) ? 1 : 0;
+    return d >= kPhaseB;
+  };
+  const sim::Time b_deadline = c.sched.now() + sim::seconds(60);
+  while (!b_done() && c.sched.now() < b_deadline && c.sched.step()) {
+  }
+  c.sched.run_until(c.sched.now() + sim::milliseconds(20));
+
+  std::vector<std::uint64_t> b_tags;
+  for (std::size_t i = b_start; i < tags.size(); ++i) {
+    if (tags[i] >= kBTag && tags[i] < kBTag + kPhaseB) {
+      b_tags.push_back(tags[i]);
+    }
+  }
+  if (b_tags.size() != kPhaseB) {
+    out.violations.push_back("phase B not exactly-once: " +
+                             std::to_string(b_tags.size()) + "/" +
+                             std::to_string(kPhaseB) + " deliveries");
+  } else {
+    for (std::uint64_t i = 0; i < kPhaseB; ++i) {
+      if (b_tags[i] != kBTag + i) {
+        out.violations.push_back("phase B out of order at index " +
+                                 std::to_string(i));
+        break;
+      }
+    }
+  }
+
+  const auto& s0 = c.rel(0).stats();
+  const auto& sd = c.rel(dsti).stats();
+  out.fw_stats =
+      "scrub_passes=" + std::to_string(s0.scrub_passes + sd.scrub_passes) +
+      " tx_repairs=" +
+      std::to_string(s0.scrub_tx_repairs + sd.scrub_tx_repairs) +
+      " rx_repairs=" +
+      std::to_string(s0.scrub_rx_repairs + sd.scrub_rx_repairs) +
+      " gen_adoptions=" +
+      std::to_string(s0.scrub_gen_adoptions + sd.scrub_gen_adoptions) +
+      " bogus_acks=" +
+      std::to_string(s0.scrub_bogus_acks + sd.scrub_bogus_acks) +
+      " misroute_drops=" +
+      std::to_string(s0.misroute_drops + sd.misroute_drops) +
+      " gen_restarts=" +
+      std::to_string(s0.generation_restarts + sd.generation_restarts);
+  out.chaos_log = eng.log_text();
+  if (want_metrics) {
+    out.metrics_json = obs::Registry::of(c.sched).to_json();
+  }
+  return out;
+}
+
+/// --corrupt-smoke: one fixed-seed cell per corruption class on fig2-16.
+/// The artifact (written to --log) is fully deterministic — verify.sh runs
+/// the smoke twice and byte-compares, proving corruption injection, the
+/// scrubber, and the recovery path all replay identically.
+int run_corrupt_smoke(const char* log_path, const char* metrics_path) {
+  constexpr std::uint64_t kSmokeSeed = 9003;  // inside the battery's range
+  std::string artifact =
+      "=== corruption smoke: fig2-16, 6 classes, seed " +
+      std::to_string(kSmokeSeed) + " ===\n";
+  std::string metrics = "[\n";
+  bool all_ok = true;
+  for (int cls = 0; cls < 6; ++cls) {
+    const CorruptCaseResult r =
+        run_corrupt_case(harness::TopoKind::kFigure2, 16, cls, kSmokeSeed,
+                         metrics_path != nullptr);
+    artifact += "--- class=" + std::string(kCorruptClasses[cls]) + " ---\n" +
+                r.dsl + r.chaos_log + "fw: " + r.fw_stats + "\nresult: ";
+    if (r.converged()) {
+      artifact += "converged (applied=" + std::to_string(r.applied) +
+                  " witness=" + std::to_string(r.witness) + ")\n";
+    } else {
+      all_ok = false;
+      artifact += "FAILED\n";
+      for (const std::string& v : r.violations) {
+        artifact += "  violation: " + v + "\n";
+      }
+    }
+    if (metrics_path != nullptr) {
+      metrics += "{\"cell\": {\"scenario\": \"corrupt-" +
+                 std::string(kCorruptClasses[cls]) +
+                 "\", \"hosts\": 16},\n\"metrics\": " + r.metrics_json + "}" +
+                 (cls + 1 < 6 ? "," : "") + "\n";
+    }
+    std::printf("corrupt-smoke class=%-11s %s\n", kCorruptClasses[cls],
+                r.converged() ? "converged" : "FAILED");
+  }
+  metrics += "]\n";
+  if (log_path != nullptr) {
+    std::FILE* f = std::fopen(log_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", log_path);
+      return 1;
+    }
+    std::fwrite(artifact.data(), 1, artifact.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", log_path, artifact.size());
+  } else {
+    std::fwrite(artifact.data(), 1, artifact.size(), stdout);
+  }
+  if (metrics_path != nullptr) {
+    std::FILE* f = std::fopen(metrics_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_path);
+      return 1;
+    }
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_path);
+  }
+  std::printf("corruption smoke: %s\n",
+              all_ok ? "all classes converged" : "CONVERGENCE FAILURES");
+  return all_ok ? 0 : 1;
+}
+
+/// --soak <seed>: randomized corruption cases derived from one master seed
+/// (the nightly workflow passes its run id). Every case's class, seed and
+/// fabric come from the master RNG, so re-running with the seed printed in
+/// a red run's artifact replays the exact failing schedule byte-for-byte.
+int run_soak(std::uint64_t master_seed, std::uint64_t cases,
+             const char* log_path) {
+  sim::Rng master(master_seed ^ 0x50AF5EEDull);
+  std::string artifact = "=== corruption soak: master_seed=" +
+                         std::to_string(master_seed) + " cases=" +
+                         std::to_string(cases) + " ===\n";
+  std::printf("corruption soak: master_seed=%llu cases=%llu\n",
+              static_cast<unsigned long long>(master_seed),
+              static_cast<unsigned long long>(cases));
+  std::uint64_t failures = 0;
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const int cls = static_cast<int>(master.uniform(6));
+    const std::uint64_t case_seed = master.next();
+    // Every fifth case runs on the 64-host fat-tree; the rest on fig2-16.
+    const bool clos = i % 5 == 4;
+    const harness::TopoKind topo =
+        clos ? harness::TopoKind::kClos : harness::TopoKind::kFigure2;
+    const std::size_t hosts = clos ? 64 : 16;
+    const CorruptCaseResult r =
+        run_corrupt_case(topo, hosts, cls, case_seed, /*want_metrics=*/false);
+    artifact += "--- case " + std::to_string(i) + ": class=" +
+                kCorruptClasses[cls] + " seed=" + std::to_string(case_seed) +
+                " topo=" + (clos ? "clos-64" : "fig2-16") + " ---\n" + r.dsl;
+    if (r.converged()) {
+      artifact += "result: converged (applied=" + std::to_string(r.applied) +
+                  " witness=" + std::to_string(r.witness) + ")\n";
+    } else {
+      ++failures;
+      artifact += r.chaos_log + "fw: " + r.fw_stats + "\nresult: FAILED\n";
+      for (const std::string& v : r.violations) {
+        artifact += "  violation: " + v + "\n";
+      }
+      std::printf("soak case %llu FAILED: class=%s seed=%llu topo=%s\n",
+                  static_cast<unsigned long long>(i), kCorruptClasses[cls],
+                  static_cast<unsigned long long>(case_seed),
+                  clos ? "clos-64" : "fig2-16");
+      for (const std::string& v : r.violations) {
+        std::printf("  violation: %s\n", v.c_str());
+      }
+    }
+  }
+  artifact += "=== soak verdict: " +
+              std::to_string(cases - failures) + "/" + std::to_string(cases) +
+              " converged ===\n";
+  if (log_path != nullptr) {
+    std::FILE* f = std::fopen(log_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", log_path);
+      return 1;
+    }
+    std::fwrite(artifact.data(), 1, artifact.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", log_path, artifact.size());
+  }
+  std::printf("corruption soak: %llu/%llu converged%s\n",
+              static_cast<unsigned long long>(cases - failures),
+              static_cast<unsigned long long>(cases),
+              failures == 0 ? "" : " — replay with --soak <master_seed>");
+  return failures == 0 ? 0 : 1;
+}
+
 int run_sim_threads_mode(unsigned threads, const char* log_path) {
   std::printf(
       "sim-threads determinism smoke: fig2-16 reliable ring, chaos scenario, "
@@ -609,6 +1006,10 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool scale = false;
   bool compare = false;
+  bool corrupt_smoke = false;
+  bool soak = false;
+  std::uint64_t soak_seed = 0;
+  std::uint64_t soak_cases = 30;
   unsigned jobs = 1;
   int sim_threads = -1;  // <0: campaign mode; >=0: determinism smoke
   const char* json_path = nullptr;
@@ -621,6 +1022,13 @@ int main(int argc, char** argv) {
       scale = true;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       compare = true;
+    } else if (std::strcmp(argv[i], "--corrupt-smoke") == 0) {
+      corrupt_smoke = true;
+    } else if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc) {
+      soak = true;
+      soak_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--soak-cases") == 0 && i + 1 < argc) {
+      soak_cases = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
@@ -633,7 +1041,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--scale] [--compare] [--json <file>] "
                    "[--metrics-json <file>] [--log <file>] [--jobs <N>] "
-                   "[--sim-threads <N>]\n",
+                   "[--sim-threads <N>] [--corrupt-smoke] "
+                   "[--soak <seed>] [--soak-cases <N>]\n",
                    argv[0]);
       return 2;
     }
@@ -642,6 +1051,8 @@ int main(int argc, char** argv) {
   if (sim_threads >= 0) {
     return run_sim_threads_mode(static_cast<unsigned>(sim_threads), log_path);
   }
+  if (corrupt_smoke) return run_corrupt_smoke(log_path, metrics_path);
+  if (soak) return run_soak(soak_seed, soak_cases, log_path);
 
   const std::uint64_t total_requests = (quick || scale || compare) ? 1500 : 6000;
   const double rate_rps = (quick || scale || compare) ? 50000 : 100000;

@@ -9,6 +9,7 @@ and total line-coverage table for first-party sources (src/ by default).
 Usage:
   coverage_summary.py [build_dir] [--root DIR] [--filter PREFIX]
                       [--gcov GCOV] [--output FILE]
+                      [--check-floor FLOOR.json]
 
   build_dir   tree to scan for .gcda (default: build_cov)
   --root      repo root that source paths are resolved against (default: .)
@@ -18,8 +19,17 @@ Usage:
               'llvm-cov gcov' for clang-compiled trees)
   --output    also write the table to FILE (for CI artifacts / step summary)
 
-Coverage is advisory: exit status is 0 whenever the data could be read, 1
-only when no .gcda files exist (nothing was run) or gcov fails.
+Without --check-floor, coverage is advisory: exit status is 0 whenever the
+data could be read, 1 only when no .gcda files exist (nothing was run) or
+gcov fails.
+
+With --check-floor FLOOR.json the summary becomes a ratchet: the floor file
+(bench/golden/coverage_floor.json) records the committed per-top-level-dir
+line-coverage percentages, and the run fails (exit 1) if any directory's
+measured coverage falls more than `tolerance_pts` (default 1.0) below its
+floor, or if a floored directory produced no coverage data at all. The CI
+coverage job gates on this. To re-ratchet after a legitimate change, run
+with --write-floor FLOOR.json from a healthy coverage build.
 """
 
 import argparse
@@ -94,6 +104,48 @@ def render(stats):
     return "\n".join([header] + rows + ["-" * len(total), total]) + "\n"
 
 
+def dir_percentages(stats):
+    """-> {top-level dir: coverage pct}, e.g. {'src/chaos': 81.2, ...}."""
+    agg = {}
+    for rel, (cov, n) in stats.items():
+        parts = rel.split(os.sep)
+        key = os.sep.join(parts[:2]) if len(parts) > 1 else parts[0]
+        c, t = agg.get(key, (0, 0))
+        agg[key] = (c + cov, t + n)
+    return {k: (100.0 * c / t if t else 0.0) for k, (c, t) in agg.items()}
+
+
+def check_floor(stats, floor_path):
+    """Ratchet check; returns a list of violations (empty = pass)."""
+    with open(floor_path) as f:
+        floor = json.load(f)
+    tol = float(floor.get("tolerance_pts", 1.0))
+    measured = dir_percentages(stats)
+    fails = []
+    for d, want in sorted(floor.get("dirs", {}).items()):
+        have = measured.get(d)
+        if have is None:
+            fails.append(f"{d}: no coverage data (floor {want:.1f}%)")
+        elif have < want - tol:
+            fails.append(
+                f"{d}: {have:.1f}% < floor {want:.1f}% - {tol:.1f}pt")
+    for d in sorted(set(measured) - set(floor.get("dirs", {}))):
+        print(f"coverage_summary: note: {d} ({measured[d]:.1f}%) has no "
+              f"floor entry; add it to {floor_path} to ratchet it")
+    return fails
+
+
+def write_floor(stats, floor_path):
+    doc = {
+        "tolerance_pts": 1.0,
+        "dirs": {d: round(p, 1) for d, p in
+                 sorted(dir_percentages(stats).items())},
+    }
+    with open(floor_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Per-file gcov line-coverage summary (gcovr stand-in).")
@@ -102,6 +154,12 @@ def main():
     ap.add_argument("--filter", action="append", default=None)
     ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
     ap.add_argument("--output")
+    ap.add_argument("--check-floor", metavar="FLOOR.json",
+                    help="fail if any floored dir drops below its committed "
+                         "coverage floor minus tolerance_pts")
+    ap.add_argument("--write-floor", metavar="FLOOR.json",
+                    help="write the measured per-dir percentages as the new "
+                         "floor file")
     args = ap.parse_args()
     filters = args.filter if args.filter is not None else ["src/"]
 
@@ -124,6 +182,18 @@ def main():
     if args.output:
         with open(args.output, "w") as f:
             f.write(table)
+    if args.write_floor:
+        write_floor(stats, args.write_floor)
+        print(f"coverage_summary: wrote floor {args.write_floor}")
+    if args.check_floor:
+        fails = check_floor(stats, args.check_floor)
+        if fails:
+            for v in fails:
+                print(f"coverage_summary: FLOOR VIOLATION: {v}",
+                      file=sys.stderr)
+            return 1
+        print(f"coverage_summary: coverage floor held "
+              f"({args.check_floor})")
     return 0
 
 

@@ -48,6 +48,18 @@ COST_PREFIXES = (
     "firmware.path_failures",
     "firmware.generation_restarts",
     "firmware.remap_requests",
+    # Self-stabilization scrubber (docs/CHAOS.md "State corruption"): in a
+    # fixed campaign, more invariant repairs, stale-generation adoptions,
+    # rejected bogus acks, scrub-escalated resets or misrouted-packet drops
+    # means live state got corrupted more often or recovered less cleanly.
+    # firmware.scrub_passes is deliberately unclassified — it scales with
+    # run length, not protocol health.
+    "firmware.scrub_tx_repairs",
+    "firmware.scrub_rx_repairs",
+    "firmware.scrub_gen_adoptions",
+    "firmware.scrub_bogus_acks",
+    "firmware.scrub_resets",
+    "firmware.misroute_drops",
     "mapper.mappings_failed",
     "mapper.probe_timeouts",
     "mapper.probe_budget_exhausted",
@@ -83,6 +95,13 @@ COST_PREFIXES = (
     "chaos.remap_conv_from_fault_max_ns",
     "chaos.retrans_amplification_milli",
     "chaos.goodput_dip_area_milli",
+    # State corruption (src/chaos/corruptor.hpp): for a fixed scenario the
+    # number of applied corruptions is deterministic, so growth means the
+    # campaign's corruption surface widened; slower scrub-to-recovery means
+    # the scrubber's repairs took longer to restore traffic.
+    "chaos.corruptions_applied",
+    "chaos.scrub_repairs",
+    "chaos.scrub_recovery_max_ns",
     # Membership (src/membership, docs/OBSERVABILITY.md): more missed direct
     # acks, suspicions, refutations, or gossip volume for the same run means
     # the detector got noisier or chattier.
@@ -112,6 +131,9 @@ GOODPUT_PREFIXES = (
     "chaos.remap_convergences",
     "chaos.ttfr_samples",
     "chaos.ttfr_dest_samples",
+    # Fewer observed scrub-to-recovery completions for the same corruption
+    # campaign means repaired channels stopped demonstrably recovering.
+    "chaos.scrub_recovery_samples",
     # Membership: fewer acked probes means probing stopped reaching members;
     # fewer confirms for the same kill campaign means detection stopped.
     "membership.acks_rx",

@@ -7,6 +7,14 @@ time — top-level `name`/`on`/`jobs`, every job has `runs-on` and `steps`,
 every step has exactly one of `uses`/`run`, `needs` references exist, and
 matrix interpolations only name defined matrix keys.
 
+Two repo-policy checks ride along:
+  * every `uses:` of a marketplace action must pin a ref (`@v4`, `@<sha>`);
+    bare actions and floating `@main`/`@master` refs are rejected — a
+    moving ref can silently change what CI runs;
+  * upload-artifact step names must be unique across ALL workflow files —
+    two jobs uploading under one name clobber each other's artifacts (the
+    nightly soak's replay seed must never be overwritten by another job).
+
 Usage: validate_ci.py [workflow.yml ...]   (default: .github/workflows/*.yml)
 
 Exits 0 when every file passes, 1 on any violation, and 0 with a notice if
@@ -39,7 +47,20 @@ def matrix_keys(job):
     return keys
 
 
-def check_job(path, name, job, all_jobs, errors):
+def check_uses_pin(where, uses, errors):
+    if not isinstance(uses, str) or uses.startswith("./"):
+        return  # local actions are pinned by the checkout itself
+    if "@" not in uses:
+        errors.append(f"{where}: unpinned action '{uses}' (add @<ref>)")
+        return
+    ref = uses.rsplit("@", 1)[1]
+    if ref in ("main", "master"):
+        errors.append(
+            f"{where}: action '{uses}' pinned to a moving branch; "
+            "use a tag or commit sha")
+
+
+def check_job(path, name, job, all_jobs, errors, artifacts):
     where = f"{path}: job '{name}'"
     if not isinstance(job, dict):
         errors.append(f"{where}: not a mapping")
@@ -62,6 +83,15 @@ def check_job(path, name, job, all_jobs, errors):
             continue
         if ("uses" in step) == ("run" in step):
             errors.append(f"{swhere}: needs exactly one of uses/run")
+        if "uses" in step:
+            check_uses_pin(swhere, step["uses"], errors)
+            uses = str(step["uses"])
+            if uses.startswith("actions/upload-artifact"):
+                aname = (step.get("with") or {}).get("name")
+                # Expression-valued names (e.g. embedding the run id) are
+                # unique by construction; only literal names can collide.
+                if isinstance(aname, str) and "${{" not in aname:
+                    artifacts.setdefault(aname, []).append(swhere)
         for ref in MATRIX_REF.findall(str(step)):
             if ref not in keys:
                 errors.append(f"{swhere}: undefined matrix key '{ref}'")
@@ -70,7 +100,7 @@ def check_job(path, name, job, all_jobs, errors):
             errors.append(f"{where}: undefined matrix key '{ref}' in env")
 
 
-def check_file(path, errors):
+def check_file(path, errors, artifacts):
     with open(path) as f:
         try:
             doc = yaml.safe_load(f)
@@ -89,7 +119,7 @@ def check_file(path, errors):
         errors.append(f"{path}: missing jobs")
         return
     for name, job in jobs.items():
-        check_job(path, name, job, jobs, errors)
+        check_job(path, name, job, jobs, errors, artifacts)
 
 
 def main():
@@ -98,8 +128,14 @@ def main():
         print("validate_ci: no workflow files found", file=sys.stderr)
         return 1
     errors = []
+    artifacts = {}
     for path in paths:
-        check_file(path, errors)
+        check_file(path, errors, artifacts)
+    for aname, wheres in sorted(artifacts.items()):
+        if len(wheres) > 1:
+            errors.append(
+                f"duplicate artifact name '{aname}' "
+                f"({'; '.join(wheres)}) — uploads clobber each other")
     for e in errors:
         print(f"validate_ci: {e}", file=sys.stderr)
     if errors:

@@ -14,10 +14,10 @@
 #   --sanitize     additionally build with -DSANFAULT_SANITIZE=address,undefined
 #                  in build_asan/ and run the test suite under the sanitizers.
 #   --coverage     additionally build with -DSANFAULT_COVERAGE=ON in
-#                  build_cov/, run the test suite there, and print an
-#                  advisory per-file line-coverage summary (gcovr when
-#                  installed, scripts/coverage_summary.py otherwise) to
-#                  stdout and build_cov/coverage_summary.txt.
+#                  build_cov/, run the test suite there, print a per-file
+#                  line-coverage summary, and enforce the per-directory
+#                  coverage ratchet against bench/golden/coverage_floor.json
+#                  (scripts/coverage_summary.py --check-floor).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +67,19 @@ echo "--- chaos gate: bench_chaos --quick vs bench/golden/chaos_quick_metrics.js
     --log build/chaos_quick_events.log >/dev/null
 python3 scripts/metrics_diff.py --tolerance 0.5 \
     bench/golden/chaos_quick_metrics.json build/chaos_quick_metrics.json
+
+# Corruption smoke (docs/CHAOS.md "State corruption"): one fixed-seed
+# convergence cell per corruption class, run twice; the scrubber's repair
+# path must replay byte-identically, and every class must converge. Cheap
+# enough to block the quick gate too.
+echo "--- corruption smoke: bench_chaos --corrupt-smoke double run"
+./build/bench/bench_chaos --corrupt-smoke \
+    --log build/corrupt_smoke_events.log >/dev/null
+./build/bench/bench_chaos --corrupt-smoke \
+    --log build/corrupt_smoke2_events.log >/dev/null
+cmp build/corrupt_smoke_events.log build/corrupt_smoke2_events.log
+echo "corruption smoke OK: all classes converged, double run bit-identical"
+
 if [[ "$QUICK" == 0 ]]; then
   # Determinism contract: a second same-seed run must be bit-identical in
   # results, event log, and metrics (the property tests/chaos_test.cpp and
@@ -132,12 +145,14 @@ if [[ "$COVERAGE" == 1 ]]; then
   if command -v gcovr >/dev/null 2>&1; then
     gcovr --root . --filter 'src/' build_cov \
         | tee build_cov/coverage_summary.txt
-  else
-    python3 scripts/coverage_summary.py build_cov --root . \
-        --output build_cov/coverage_summary.txt
   fi
-  echo "coverage summary written to build_cov/coverage_summary.txt (advisory:"
-  echo "low numbers do not fail the gate; tests failing under coverage do)"
+  # Ratchet: per-directory line coverage must hold the committed floor
+  # (bench/golden/coverage_floor.json). Re-baseline after adding tests with
+  #   python3 scripts/coverage_summary.py build_cov --root . \
+  #       --write-floor bench/golden/coverage_floor.json
+  python3 scripts/coverage_summary.py build_cov --root . \
+      --output build_cov/coverage_summary.txt \
+      --check-floor bench/golden/coverage_floor.json
 fi
 
 cat <<'EOF'

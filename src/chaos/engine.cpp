@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "chaos/corruptor.hpp"
+
 namespace sanfault::chaos {
 
 namespace {
@@ -130,6 +132,14 @@ void ChaosEngine::apply(const ChaosEvent& ev) {
       note("heal hosts=" + who);
       break;
     }
+    case ChaosOp::kCorrupt:
+      if (corruptor_ != nullptr) {
+        note(corruptor_->apply(ev));
+      } else {
+        note("corrupt host=" + std::to_string(ev.target) +
+             " noop=no_corruptor");
+      }
+      break;
   }
 }
 

@@ -33,6 +33,8 @@
 
 namespace sanfault::chaos {
 
+class StateCorruptor;
+
 class ChaosEngine {
  public:
   /// `sched` is where actions are scheduled and `injector` is what they act
@@ -49,6 +51,11 @@ class ChaosEngine {
   void set_nic_reset_fn(std::function<void(std::uint32_t)> fn) {
     nic_reset_fn_ = std::move(fn);
   }
+
+  /// Hook for corrupt events: the harness binds the StateCorruptor holding
+  /// the per-host firmware/mapper bindings (corruptor.hpp). Unset, corrupt
+  /// events are audited no-ops — same indirection as set_nic_reset_fn.
+  void set_corruptor(StateCorruptor* corruptor) { corruptor_ = corruptor; }
 
   /// Schedule every absolute-time event. Call once, before running.
   void arm();
@@ -81,6 +88,7 @@ class ChaosEngine {
   Scenario scenario_;
   sim::Rng rng_;
   std::function<void(std::uint32_t)> nic_reset_fn_;
+  StateCorruptor* corruptor_ = nullptr;
   std::vector<std::string> fired_phases_;
   std::vector<std::string> log_;
   std::uint64_t pending_ = 0;

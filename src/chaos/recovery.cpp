@@ -56,6 +56,19 @@ void RecoveryMonitor::on_delivery(const net::Packet& pkt, net::HostId) {
     if (window_counts_.size() <= idx) window_counts_.resize(idx + 1, 0);
     ++window_counts_[idx];
 
+    // A data delivery on a scrub-repaired pair (the repair may sit on
+    // either end, so both orientations close the clock) is the channel
+    // demonstrably carrying traffic again.
+    for (const auto skey : {std::make_pair(pkt.hdr.src.v, pkt.hdr.dst.v),
+                            std::make_pair(pkt.hdr.dst.v, pkt.hdr.src.v)}) {
+      if (auto s = pending_scrubs_.find(skey); s != pending_scrubs_.end()) {
+        ++report_.scrub_recovery_samples;
+        report_.scrub_recovery_max =
+            std::max(report_.scrub_recovery_max, now - s->second);
+        pending_scrubs_.erase(s);
+      }
+    }
+
     const auto key = std::make_pair(pkt.hdr.src.v, pkt.hdr.dst.v);
     if (auto ch = pending_gens_.find(key); ch != pending_gens_.end()) {
       if (auto g = ch->second.find(pkt.hdr.generation);
@@ -133,6 +146,12 @@ void RecoveryMonitor::on_fw_event(const firmware::FwEvent& ev) {
     case firmware::FwEvent::Kind::kPeerExcluded:
       ++report_.peer_exclusions;
       break;
+    case firmware::FwEvent::Kind::kScrubRepair: {
+      ++report_.scrub_repairs;
+      const auto key = std::make_pair(ev.self.v, ev.peer.v);
+      pending_scrubs_.try_emplace(key, sched_.now());
+      break;
+    }
   }
 }
 
@@ -194,6 +213,10 @@ void RecoveryMonitor::finalize() {
   c("chaos.remap_failures", "events", report_.remap_failures);
   c("chaos.nic_resets", "events", report_.nic_resets);
   c("chaos.peer_exclusions", "events", report_.peer_exclusions);
+  c("chaos.scrub_repairs", "events", report_.scrub_repairs);
+  c("chaos.scrub_recovery_samples", "events",
+    report_.scrub_recovery_samples);
+  c("chaos.scrub_recovery_max_ns", "ns", report_.scrub_recovery_max);
   c("chaos.data_deliveries", "packets", report_.data_deliveries);
   c("chaos.retrans_deliveries", "packets", report_.retrans_deliveries);
   c("chaos.retrans_amplification_milli", "milli",

@@ -82,6 +82,13 @@ struct RecoveryReport {
   std::uint64_t nic_resets = 0;
   std::uint64_t peer_exclusions = 0;  // membership-driven channel shutdowns
 
+  // Scrub-to-recovery: a kScrubRepair event opens a clock on its channel
+  // pair; the next data delivery on that pair (either direction) closes it.
+  // Measures how long a scrubber intervention takes to restore real traffic.
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t scrub_recovery_samples = 0;
+  sim::Duration scrub_recovery_max = 0;
+
   // Delivery accounting.
   std::uint64_t data_deliveries = 0;
   std::uint64_t retrans_deliveries = 0;
@@ -140,6 +147,10 @@ class RecoveryMonitor {
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::map<std::uint16_t, PendingGen>>
       pending_gens_;
+  /// (self, peer) scrub repairs awaiting the next delivery on the pair; the
+  /// earliest open repair's clock wins (repair bursts measure end-to-end).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, sim::Time>
+      pending_scrubs_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint16_t> last_gen_;
 };
 

@@ -89,7 +89,27 @@ ChaosOp parse_op(std::string_view tok, std::size_t line_no) {
   if (tok == "error_ramp") return ChaosOp::kErrorRamp;
   if (tok == "partition") return ChaosOp::kPartition;
   if (tok == "heal") return ChaosOp::kHeal;
+  if (tok == "corrupt") return ChaosOp::kCorrupt;
   fail(line_no, "unknown op '" + std::string(tok) + "'");
+}
+
+CorruptState parse_corrupt_state(std::string_view tok, std::size_t line_no) {
+  if (tok == "seq") return CorruptState::kSeq;
+  if (tok == "ack") return CorruptState::kAck;
+  if (tok == "gen") return CorruptState::kGen;
+  if (tok == "retx_queue") return CorruptState::kRetxQueue;
+  if (tok == "path_cache") return CorruptState::kPathCache;
+  if (tok == "backup_slot") return CorruptState::kBackupSlot;
+  fail(line_no, "unknown state '" + std::string(tok) +
+                    "' (want seq/ack/gen/retx_queue/path_cache/backup_slot)");
+}
+
+CorruptMode parse_corrupt_mode(std::string_view tok, std::size_t line_no) {
+  if (tok == "flip") return CorruptMode::kFlip;
+  if (tok == "zero") return CorruptMode::kZero;
+  if (tok == "rand") return CorruptMode::kRand;
+  fail(line_no, "unknown mode '" + std::string(tok) +
+                    "' (want flip/zero/rand)");
 }
 
 struct KeyVal {
@@ -118,6 +138,28 @@ std::string_view chaos_op_name(ChaosOp op) {
     case ChaosOp::kErrorRamp: return "error_ramp";
     case ChaosOp::kPartition: return "partition";
     case ChaosOp::kHeal: return "heal";
+    case ChaosOp::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::string_view corrupt_state_name(CorruptState s) {
+  switch (s) {
+    case CorruptState::kSeq: return "seq";
+    case CorruptState::kAck: return "ack";
+    case CorruptState::kGen: return "gen";
+    case CorruptState::kRetxQueue: return "retx_queue";
+    case CorruptState::kPathCache: return "path_cache";
+    case CorruptState::kBackupSlot: return "backup_slot";
+  }
+  return "?";
+}
+
+std::string_view corrupt_mode_name(CorruptMode m) {
+  switch (m) {
+    case CorruptMode::kFlip: return "flip";
+    case CorruptMode::kZero: return "zero";
+    case CorruptMode::kRand: return "rand";
   }
   return "?";
 }
@@ -160,6 +202,11 @@ std::string ChaosEvent::to_string() const {
         if (i) os << ",";
         os << hosts[i];
       }
+      break;
+    case ChaosOp::kCorrupt:
+      os << " host=" << target << " state=" << corrupt_state_name(state)
+         << " mode=" << corrupt_mode_name(mode);
+      if (peer >= 0) os << " peer=" << peer;
       break;
   }
   return os.str();
@@ -247,6 +294,12 @@ Scenario Scenario::parse(std::string_view text) {
         ev.loss = std::strtod(val.c_str(), nullptr);
       } else if (kv.key == "corrupt") {
         ev.corrupt = std::strtod(val.c_str(), nullptr);
+      } else if (kv.key == "state") {
+        ev.state = parse_corrupt_state(kv.val, line_no);
+      } else if (kv.key == "mode") {
+        ev.mode = parse_corrupt_mode(kv.val, line_no);
+      } else if (kv.key == "peer") {
+        ev.peer = std::strtoll(val.c_str(), nullptr, 10);
       } else {
         fail(line_no, "unknown key '" + std::string(kv.key) + "'");
       }
@@ -291,6 +344,9 @@ Scenario Scenario::parse(std::string_view text) {
         if (ev.hosts.empty()) {
           fail(line_no, std::string(chaos_op_name(ev.op)) + " needs hosts=");
         }
+        break;
+      case ChaosOp::kCorrupt:
+        if (!saw_target || ev.target < 0) fail(line_no, "corrupt needs host=");
         break;
     }
     sc.events.push_back(std::move(ev));

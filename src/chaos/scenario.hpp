@@ -18,6 +18,7 @@
 //   at 5ms flap link=1 count=6 period=2ms duty=0.5 jitter=0.25
 //   phase p25 partition hosts=1,5
 //   phase p50+2ms heal hosts=1,5
+//   at 4ms corrupt host=3 state=seq mode=rand peer=5
 //
 // parse() and to_string() round-trip: to_string() emits the canonical
 // spelling (sorted key order, normalized times), which is what determinism
@@ -43,9 +44,30 @@ enum class ChaosOp : std::uint8_t {
   kErrorRamp,   // ramp per-link loss/corrupt rates to a target in steps
   kPartition,   // cut the listed hosts' access links
   kHeal,        // restore the listed hosts' access links
+  kCorrupt,     // garble live protocol state on one host (StateCorruptor)
+};
+
+/// Which piece of live state a `corrupt` event garbles (docs/CHAOS.md
+/// "State corruption" has the exact field each class maps to).
+enum class CorruptState : std::uint8_t {
+  kSeq,         // sender next_seq counter
+  kAck,         // receiver expected_seq counter
+  kGen,         // sender or receiver generation number (corruptor picks)
+  kRetxQueue,   // a queued packet's seq/generation header words
+  kPathCache,   // cached primary route + installed route-table entry
+  kBackupSlot,  // proactive backup route (promote-time validation fodder)
+};
+
+/// How the corrupted word is rewritten.
+enum class CorruptMode : std::uint8_t {
+  kFlip,  // flip one seeded-random bit
+  kZero,  // zero the field (routes: empty the port list)
+  kRand,  // replace with a seeded-random value
 };
 
 [[nodiscard]] std::string_view chaos_op_name(ChaosOp op);
+[[nodiscard]] std::string_view corrupt_state_name(CorruptState s);
+[[nodiscard]] std::string_view corrupt_mode_name(CorruptMode m);
 
 /// One scheduled fault. Exactly one trigger applies: `phase` empty means
 /// absolute time `at`; otherwise the event fires `at` after the workload
@@ -68,6 +90,12 @@ struct ChaosEvent {
   double corrupt = 0.0;
   std::uint32_t steps = 1;
   sim::Duration over = 0;
+  // State-corruption parameters (op == kCorrupt; target is the host).
+  CorruptState state = CorruptState::kSeq;
+  CorruptMode mode = CorruptMode::kRand;
+  /// Remote end of the channel to corrupt; -1 lets the corruptor pick a
+  /// live peer from its seeded RNG (logged either way).
+  std::int64_t peer = -1;
 
   [[nodiscard]] std::string to_string() const;  // canonical one-line form
 };

@@ -39,6 +39,11 @@ struct TxChannel {
   /// this remap publishes so observers can attribute recovery latency.
   bool remap_promoted = false;
   bool unreachable = false;
+  /// Consecutive scrub passes that found this channel's invariants violated
+  /// (self-stabilization hardening, docs/CHAOS.md). Reset on a clean pass;
+  /// reaching ReliabilityConfig::scrub_strike_limit triggers nic_reset as the
+  /// last-resort repair.
+  std::uint32_t scrub_strikes = 0;
 };
 
 /// Receiver side of a node pair.
@@ -51,6 +56,13 @@ struct RxChannel {
   /// An explicit ACK was required but no route back existed; it is owed and
   /// will be sent as soon as on-demand mapping finds the way home.
   bool ack_owed = false;
+  /// Consecutive stale-generation drops since the last accepted packet or
+  /// generation adoption. A corrupted receiver generation that ran *ahead* of
+  /// the sender would stale-drop everything for up to 2^15 sender restarts;
+  /// after ReliabilityConfig::scrub_stale_adopt_threshold consecutive stale
+  /// drops with zero acceptances the receiver adopts the incoming generation
+  /// instead (wraparound-safe convergence, docs/CHAOS.md).
+  std::uint32_t stale_run = 0;
 };
 
 /// Wrap-safe "is generation a newer than b".

@@ -106,6 +106,23 @@ const std::optional<net::AltRoute>* OnDemandMapper::PathCache::peek_backup(
   return it == idx_.end() ? nullptr : &it->second->backup;
 }
 
+std::vector<HostId> OnDemandMapper::PathCache::hosts() const {
+  std::vector<HostId> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.host);
+  return out;
+}
+
+Route* OnDemandMapper::PathCache::primary_mut(HostId h) {
+  auto it = idx_.find(h);
+  return it == idx_.end() ? nullptr : &it->second->primary;
+}
+
+std::optional<net::AltRoute>* OnDemandMapper::PathCache::backup_mut(HostId h) {
+  auto it = idx_.find(h);
+  return it == idx_.end() ? nullptr : &it->second->backup;
+}
+
 // --- OnDemandMapper ---------------------------------------------------------
 
 OnDemandMapper::OnDemandMapper(nic::Nic& nic, OnDemandMapperConfig cfg)

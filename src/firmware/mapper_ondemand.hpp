@@ -183,6 +183,23 @@ class OnDemandMapper final : public MapperIface {
     return path_cache_.peek_backup(dst);
   }
 
+  // --- chaos mutation API (src/chaos/corruptor.hpp) ------------------------
+  // The only sanctioned outside-mutation path into the mapper's SRAM state
+  // (docs/CHAOS.md "State corruption"): mutable access to *existing* cache
+  // entries, never creating any. Recency order is untouched. Every mutation
+  // made through these is logged in the chaos event log by the corruptor.
+  /// Cached destinations in deterministic recency order (MRU first).
+  [[nodiscard]] std::vector<net::HostId> chaos_cached_hosts() const {
+    return path_cache_.hosts();
+  }
+  [[nodiscard]] net::Route* chaos_cached_route(net::HostId dst) {
+    return path_cache_.primary_mut(dst);
+  }
+  [[nodiscard]] std::optional<net::AltRoute>* chaos_cached_backup(
+      net::HostId dst) {
+    return path_cache_.backup_mut(dst);
+  }
+
  private:
   /// A discovered crossbar: how to reach it and how its packets reach us.
   struct KnownSwitch {
@@ -222,6 +239,12 @@ class OnDemandMapper final : public MapperIface {
     [[nodiscard]] const net::Route* peek(net::HostId h) const;
     [[nodiscard]] const std::optional<net::AltRoute>* peek_backup(
         net::HostId h) const;
+
+    /// Chaos mutation API: cached hosts in recency order (MRU first), and
+    /// non-touching *mutable* slot access (nullptr when absent).
+    [[nodiscard]] std::vector<net::HostId> hosts() const;
+    [[nodiscard]] net::Route* primary_mut(net::HostId h);
+    [[nodiscard]] std::optional<net::AltRoute>* backup_mut(net::HostId h);
 
    private:
     struct Entry {

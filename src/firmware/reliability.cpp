@@ -71,6 +71,18 @@ void ReliableFirmware::register_metrics() {
     r.counter("firmware.nic_resets" + node, "resets").set(s.nic_resets);
     r.counter("firmware.peer_exclusions" + node, "peers")
         .set(s.peer_exclusions);
+    r.counter("firmware.scrub_passes" + node, "passes").set(s.scrub_passes);
+    r.counter("firmware.scrub_tx_repairs" + node, "repairs")
+        .set(s.scrub_tx_repairs);
+    r.counter("firmware.scrub_rx_repairs" + node, "repairs")
+        .set(s.scrub_rx_repairs);
+    r.counter("firmware.scrub_gen_adoptions" + node, "adoptions")
+        .set(s.scrub_gen_adoptions);
+    r.counter("firmware.scrub_bogus_acks" + node, "acks")
+        .set(s.scrub_bogus_acks);
+    r.counter("firmware.scrub_resets" + node, "resets").set(s.scrub_resets);
+    r.counter("firmware.misroute_drops" + node, "packets")
+        .set(s.misroute_drops);
     free_bufs_->set(static_cast<std::int64_t>(nic_.send_pool().free_count()));
   });
 }
@@ -182,6 +194,20 @@ void ReliableFirmware::on_host_packet(nic::SendRequest req) {
 
   if (ch.retrans_queue.empty()) ch.last_progress = nic_.sched().now();
 
+  // Self-stabilization guard (O(1), always on): the sequence counter must
+  // continue the queue tail exactly. A corrupted next_seq caught here is
+  // re-anchored before the new packet inherits the bogus number — a full
+  // queue repair, if the queue itself is garbled, is the scrubber's job.
+  if (!ch.retrans_queue.empty() &&
+      pkt.hdr.seq != ch.retrans_queue.back().pkt.hdr.seq + 1) {
+    ++stats_.scrub_tx_repairs;
+    pkt.hdr.seq = ch.retrans_queue.back().pkt.hdr.seq + 1;
+    ch.next_seq = pkt.hdr.seq + 1;
+    publish(FwEvent{FwEvent::Kind::kScrubRepair, nic_.self(), dst,
+                    ch.generation, false,
+                    static_cast<std::uint32_t>(ch.retrans_queue.size())});
+  }
+
   trace_pkt(obs::TraceKind::kHostEnqueue, pkt);
 
   const auto route = routes_.get(dst);
@@ -242,6 +268,18 @@ void ReliableFirmware::on_wire_packet(Packet pkt, bool crc_ok) {
     trace_pkt(obs::TraceKind::kCorruptDrop, pkt);
     return;
   }
+  // Misroute guard: a data or ACK packet whose destination field names some
+  // other host reached us over a wrong route (a corrupted path-cache entry,
+  // or a stale route racing a reconfiguration). Processing it would pollute
+  // an innocent channel — worse, deliver payload to the wrong application.
+  // Probes are exempt: the mapper's BFS *intends* to land on unknown hosts.
+  if (pkt.hdr.dst != nic_.self() && (pkt.hdr.type == PacketType::kData ||
+                                     pkt.hdr.type == PacketType::kControl ||
+                                     pkt.hdr.type == PacketType::kAck)) {
+    ++stats_.misroute_drops;
+    trace_pkt(obs::TraceKind::kCorruptDrop, pkt);
+    return;
+  }
   switch (pkt.hdr.type) {
     case PacketType::kAck:
       ++stats_.acks_rx;
@@ -268,12 +306,29 @@ void ReliableFirmware::handle_data(Packet pkt) {
       rxch.generation = pkt.hdr.generation;
       rxch.expected_seq = 1;
       rxch.pending_unacked = 0;
+    } else if (cfg_.scrub_stale_adopt_threshold != 0 &&
+               ++rxch.stale_run >= cfg_.scrub_stale_adopt_threshold) {
+      // Generation wraparound handling (self-stabilization, docs/CHAOS.md):
+      // a long unbroken run of "stale" traffic with zero acceptances means
+      // OUR generation is the corrupt one — a real stale burst is finite
+      // (bounded by the network's packet capacity) and interleaves with
+      // current-generation traffic. Adopt the sender's generation and
+      // resynchronize; any mismatch left over resolves through the sender's
+      // own no-progress restart.
+      ++stats_.scrub_gen_adoptions;
+      rxch.generation = pkt.hdr.generation;
+      rxch.expected_seq = 1;
+      rxch.pending_unacked = 0;
+      rxch.stale_run = 0;
+      publish(FwEvent{FwEvent::Kind::kScrubRepair, nic_.self(), src,
+                      rxch.generation, false, 0});
     } else {
       ++stats_.stale_gen_drops;
       trace_pkt(obs::TraceKind::kStaleGenDrop, pkt);
       return;
     }
   }
+  rxch.stale_run = 0;
 
   if (pkt.hdr.flags & net::kFlagPiggyAck) {
     process_ack(src, pkt.hdr.ack, pkt.hdr.ack_gen);
@@ -314,11 +369,42 @@ void ReliableFirmware::process_ack(HostId from, std::uint32_t ack,
                                    std::uint16_t ack_gen) {
   TxChannel& ch = tx(from);
   if (ack_gen != ch.generation) return;  // stale generation
+  // Bounded-capacity guard (self-stabilization, docs/CHAOS.md): a cumulative
+  // ACK can never exceed the highest sequence number ever sent, next_seq-1.
+  // One that does means sender or receiver state is corrupt; honoring it
+  // would silently free — i.e. permanently lose — undelivered messages. The
+  // channel stalls instead, and the no-progress restart resynchronizes.
+  if (ack >= ch.next_seq) {
+    ++stats_.scrub_bogus_acks;
+    return;
+  }
   std::size_t freed = 0;
   auto& q = ch.retrans_queue;
-  while (!q.empty() && q.front().pkt.hdr.seq <= ack) {
-    q.pop_front();
-    ++freed;
+  // Pop only a prefix that is strictly consecutive, nonzero, and ends
+  // EXACTLY at `ack`. A legitimate cumulative ACK always acknowledges the
+  // head of the unacknowledged window, so the freed run must land on the
+  // ACK value precisely; any shortfall or gap means a queue entry's header
+  // seq was corrupted, and honoring the ACK would free — i.e. permanently
+  // lose — a message that was never delivered. Free nothing and leave the
+  // queue for the scrubber to renumber instead.
+  std::size_t cover = 0;
+  std::uint32_t run = 0;
+  bool bogus = false;
+  for (const QueuedPacket& qp : q) {
+    const std::uint32_t s = qp.pkt.hdr.seq;
+    if (s > ack) break;  // scanned past the acknowledged window
+    if (s == 0 || (run != 0 && s != run + 1)) {
+      bogus = true;
+      break;
+    }
+    run = s;
+    ++cover;
+  }
+  if (bogus || (cover > 0 && run != ack)) {
+    ++stats_.scrub_bogus_acks;
+  } else {
+    for (std::size_t i = 0; i < cover; ++i) q.pop_front();
+    freed = cover;
   }
   if (freed > 0) {
     // One cumulative ACK frees a whole prefix — "a single operation".
@@ -391,6 +477,14 @@ void ReliableFirmware::on_timer() {
       non_empty * nic_.costs().timer_scan_per_queue;
 
   nic_.cpu().submit(scan_cost, [this] {
+    // Periodic state-sanity scrub (self-stabilization): piggy-backed on the
+    // timer scan so it shares the control processor's serialization — the
+    // pass never races packet processing, exactly like the real firmware's
+    // single control loop.
+    if (cfg_.scrub_every != 0 && ++scrub_countdown_ >= cfg_.scrub_every) {
+      scrub_countdown_ = 0;
+      scrub_pass();
+    }
     const sim::Time now = nic_.sched().now();
     for (auto& [h, ch] : tx_) {
       if (ch.retrans_queue.empty() || ch.remap_in_flight || ch.unreachable) {
@@ -607,6 +701,151 @@ void ReliableFirmware::exclude_peer(HostId peer) {
   ch.unreachable = true;
   ch.rounds_without_progress = 0;
   drop_pending(peer, ch);
+}
+
+// ---------------------------------------------------------------------------
+// State-sanity scrubbing (self-stabilization, docs/CHAOS.md)
+// ---------------------------------------------------------------------------
+
+void ReliableFirmware::scrub_now() { scrub_pass(); }
+
+void ReliableFirmware::scrub_pass() {
+  ++stats_.scrub_passes;
+  for (auto& [h, ch] : tx_) {
+    if (ch.unreachable || ch.remap_in_flight) continue;
+    // Bounded-capacity invariants of a healthy sender channel: sequence
+    // numbers start at 1 (0 is unassignable), the retransmission queue is a
+    // strictly consecutive run of the current generation, and next_seq
+    // continues the queue tail.
+    bool bad = ch.next_seq == 0;
+    if (!bad && !ch.retrans_queue.empty()) {
+      const auto& q = ch.retrans_queue;
+      std::uint32_t expect = q.front().pkt.hdr.seq;
+      if (expect == 0) bad = true;
+      for (const QueuedPacket& qp : q) {
+        if (bad) break;
+        if (qp.pkt.hdr.generation != ch.generation ||
+            qp.pkt.hdr.seq != expect++) {
+          bad = true;
+        }
+      }
+      if (!bad && q.back().pkt.hdr.seq + 1 != ch.next_seq) bad = true;
+    }
+    if (!bad) {
+      ch.scrub_strikes = 0;
+      continue;
+    }
+    if (repair_tx(h, ch)) return;  // escalated to nic_reset: all channels
+                                   // are being remapped, stop the pass
+  }
+  for (auto& [h, rxch] : rx_) {
+    if (rxch.expected_seq == 0) {
+      // expected_seq 0 makes every piggy-backed ack underflow to 2^32-1
+      // (which the peer's bogus-ack guard rejects, stalling the reverse
+      // direction). Re-anchor at 1; the sender's generation restart
+      // resynchronizes whatever the true position was.
+      ++stats_.scrub_rx_repairs;
+      rxch.expected_seq = 1;
+      rxch.pending_unacked = 0;
+      publish(FwEvent{FwEvent::Kind::kScrubRepair, nic_.self(), h,
+                      rxch.generation, false, 0});
+    }
+  }
+}
+
+bool ReliableFirmware::repair_tx(HostId h, TxChannel& ch) {
+  ++stats_.scrub_tx_repairs;
+  ++ch.scrub_strikes;
+  trace_ch(obs::TraceKind::kPathFail, h, ch.next_seq, ch.generation,
+           static_cast<std::uint32_t>(ch.retrans_queue.size()));
+  publish(FwEvent{FwEvent::Kind::kScrubRepair, nic_.self(), h, ch.generation,
+                  false, static_cast<std::uint32_t>(ch.retrans_queue.size())});
+  if (cfg_.scrub_strike_limit != 0 &&
+      ch.scrub_strikes >= cfg_.scrub_strike_limit) {
+    // Local repair is not converging (state is being re-corrupted faster
+    // than the renumber machinery stabilizes it): last resort is a full
+    // firmware restart, which rebuilds every channel through §4.2 remapping.
+    ch.scrub_strikes = 0;
+    ++stats_.scrub_resets;
+    nic_reset();
+    return true;
+  }
+  const auto route = routes_.get(h);
+  if (!route) {
+    // No route to resend over: let the remap machinery do the restart (its
+    // finish_remap renumbers the queue exactly like the repair below).
+    if (mapper_ != nullptr) {
+      begin_remap(h, ch);
+    } else {
+      ch.unreachable = true;
+      drop_pending(h, ch);
+    }
+    return false;
+  }
+  // Forced generation restart: renumber the pending queue from 1 under a
+  // fresh generation and resend in order — identical to the §4.2 recovery
+  // after a successful remap, minus the route change. Corrupted headers
+  // (seq, generation, stale piggy-ack fields) are all rewritten here, so a
+  // single pass repairs any combination of queue-entry corruption.
+  ++ch.generation;
+  std::uint32_t seq = 1;
+  RxChannel& rxch = rx(h);
+  for (QueuedPacket& qp : ch.retrans_queue) {
+    qp.pkt.hdr.seq = seq++;
+    qp.pkt.hdr.generation = ch.generation;
+    qp.pkt.hdr.route = *route;
+    qp.pkt.hdr.ack = rxch.expected_seq - 1;
+    qp.pkt.hdr.ack_gen = rxch.generation;
+    qp.pkt.hdr.flags |= net::kFlagAckRequest;  // re-sync fast
+  }
+  ch.next_seq = seq;
+  ch.rounds_without_progress = 0;
+  ch.last_progress = nic_.sched().now();
+  ++stats_.generation_restarts;
+  trace_ch(obs::TraceKind::kGenRestart, h, ch.next_seq, ch.generation,
+           static_cast<std::uint32_t>(ch.retrans_queue.size()));
+  publish(FwEvent{FwEvent::Kind::kGenRestart, nic_.self(), h, ch.generation,
+                  true, static_cast<std::uint32_t>(ch.retrans_queue.size())});
+  const std::uint16_t gen = ch.generation;
+  const std::size_t n = ch.retrans_queue.size();
+  std::size_t i = 0;
+  for (QueuedPacket& qp : ch.retrans_queue) {
+    ++i;
+    qp.last_sent = nic_.sched().now();
+    qp.sent_once = true;
+    ++stats_.data_tx;
+    const std::uint32_t rseq = qp.pkt.hdr.seq;
+    const bool is_last = (i == n);
+    nic_.cpu().submit(nic_.costs().retransmit_per_packet,
+                      [this, h, gen, rseq, is_last] {
+                        retransmit_one(h, gen, rseq, is_last);
+                      });
+  }
+  return false;
+}
+
+TxChannel* ReliableFirmware::chaos_tx_channel(HostId h) {
+  auto it = tx_.find(h);
+  return it == tx_.end() ? nullptr : &it->second;
+}
+
+RxChannel* ReliableFirmware::chaos_rx_channel(HostId h) {
+  auto it = rx_.find(h);
+  return it == rx_.end() ? nullptr : &it->second;
+}
+
+std::vector<HostId> ReliableFirmware::chaos_tx_peers() const {
+  std::vector<HostId> out;
+  out.reserve(tx_.size());
+  for (const auto& [h, ch] : tx_) out.push_back(h);
+  return out;
+}
+
+std::vector<HostId> ReliableFirmware::chaos_rx_peers() const {
+  std::vector<HostId> out;
+  out.reserve(rx_.size());
+  for (const auto& [h, ch] : rx_) out.push_back(h);
+  return out;
 }
 
 void ReliableFirmware::drop_pending(HostId /*h*/, TxChannel& ch) {

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "firmware/ack_policy.hpp"
 #include "firmware/channel.hpp"
@@ -67,6 +68,25 @@ struct ReliabilityConfig {
   /// attributes Figure 8's q128 collapse to the absence of selective
   /// retransmission, which this knob lets you quantify.
   std::uint32_t retransmit_window = 0;
+  /// Self-stabilization scrubber (Dolev et al., docs/CHAOS.md): run a state
+  /// sanity pass over every channel each `scrub_every` retransmission-timer
+  /// fires (0 disables periodic scrubbing; the always-on per-packet guards
+  /// remain). The pass checks bounded-capacity invariants — queue sequence
+  /// numbers strictly consecutive, queue generation uniform, next_seq
+  /// anchored at back()+1 and never 0 — and repairs violations with a forced
+  /// generation restart (the §4.2 renumber-and-resend machinery).
+  std::uint32_t scrub_every = 4;
+  /// Receiver-side generation wraparound handling: after this many
+  /// consecutive stale-generation drops with no accepted packet, adopt the
+  /// incoming packet's generation (a corrupted local generation running
+  /// "ahead" of the sender is otherwise indistinguishable from stale wire
+  /// traffic and would deadlock the channel for up to 2^15 restarts).
+  /// 0 disables adoption.
+  std::uint32_t scrub_stale_adopt_threshold = 64;
+  /// After this many consecutive dirty scrub passes on one channel the
+  /// scrubber concludes local repair is not converging and escalates to
+  /// nic_reset (last resort; 0 = never escalate).
+  std::uint32_t scrub_strike_limit = 3;
 };
 
 struct ReliabilityStats {
@@ -90,6 +110,14 @@ struct ReliabilityStats {
   std::uint64_t no_route_drops = 0;      // no route and no mapper attached
   std::uint64_t nic_resets = 0;          // chaos-injected firmware restarts
   std::uint64_t peer_exclusions = 0;     // membership-driven exclusions
+  // Self-stabilization scrubber (docs/CHAOS.md "State corruption").
+  std::uint64_t scrub_passes = 0;        // periodic/forced sanity passes
+  std::uint64_t scrub_tx_repairs = 0;    // tx invariant violations repaired
+  std::uint64_t scrub_rx_repairs = 0;    // rx invariant violations repaired
+  std::uint64_t scrub_gen_adoptions = 0; // stale-run generation adoptions
+  std::uint64_t scrub_bogus_acks = 0;    // acks beyond next_seq-1 rejected
+  std::uint64_t scrub_resets = 0;        // strike-limit nic_reset escalations
+  std::uint64_t misroute_drops = 0;      // data/ack landed on the wrong host
 };
 
 /// A protocol-level recovery transition, published synchronously to an
@@ -105,6 +133,7 @@ struct FwEvent {
     kGenRestart,  // sequence space restarted under generation `gen`
     kNicReset,    // firmware restarted; route cache lost
     kPeerExcluded,  // membership confirmed the peer dead; channel flushed
+    kScrubRepair,   // state-sanity scrubber repaired corrupted channel state
   };
   Kind kind;
   net::HostId self;  // the NIC observing the transition
@@ -155,6 +184,25 @@ class ReliableFirmware final : public nic::FirmwareIface {
   [[nodiscard]] const TxChannel* tx_channel(net::HostId h) const;
   [[nodiscard]] const RxChannel* rx_channel(net::HostId h) const;
 
+  /// Run one state-sanity scrub pass immediately (the periodic scrubber
+  /// calls the same routine every scrub_every timer fires). Repairs are
+  /// published as kScrubRepair events and counted in scrub_* stats.
+  void scrub_now();
+
+  // --- chaos mutation API (src/chaos/corruptor.hpp) ------------------------
+  // The ONLY sanctioned way to mutate live protocol state from outside the
+  // protocol: the StateCorruptor uses these to model in-SRAM state corruption
+  // (docs/CHAOS.md "State corruption"). They expose *existing* channels
+  // mutably and never create state, so a corruption campaign cannot
+  // accidentally widen the protocol's reachable-state space — it can only
+  // garble what is genuinely live. Every mutation made through these is
+  // logged in the chaos event log by the corruptor.
+  [[nodiscard]] TxChannel* chaos_tx_channel(net::HostId h);
+  [[nodiscard]] RxChannel* chaos_rx_channel(net::HostId h);
+  /// Peers with live channel state, in deterministic (ordered-map) order.
+  [[nodiscard]] std::vector<net::HostId> chaos_tx_peers() const;
+  [[nodiscard]] std::vector<net::HostId> chaos_rx_peers() const;
+
   // --- FirmwareIface -------------------------------------------------------
   void on_host_packet(nic::SendRequest req) override;
   void on_wire_packet(net::Packet pkt, bool crc_ok) override;
@@ -182,6 +230,14 @@ class ReliableFirmware final : public nic::FirmwareIface {
   void begin_remap(net::HostId h, TxChannel& ch);
   void finish_remap(net::HostId h, std::optional<net::Route> route);
   void drop_pending(net::HostId h, TxChannel& ch);
+  /// One scrub pass over every channel (scrub_now / the periodic scrubber).
+  void scrub_pass();
+  /// Repair a tx channel whose bounded-capacity invariants failed: forced
+  /// generation restart (renumber + resend, the finish_remap machinery) or,
+  /// past the strike limit, a nic_reset escalation. Returns true when the
+  /// repair escalated to nic_reset (the caller's channel iteration must
+  /// stop — every channel was just re-entered into remapping).
+  bool repair_tx(net::HostId h, TxChannel& ch);
   /// Send one queued packet to the wire (or count an injected drop).
   void put_on_wire(net::HostId h, QueuedPacket& qp, bool is_retransmit);
   /// §5.1.3 drop-plan decision for the next data injection.
@@ -218,6 +274,7 @@ class ReliableFirmware final : public nic::FirmwareIface {
   std::map<net::HostId, TxChannel> tx_;
   std::map<net::HostId, RxChannel> rx_;
   ReliabilityStats stats_;
+  std::uint32_t scrub_countdown_ = 0;  // timer fires until the next scrub
   std::uint64_t next_drop_in_ = 0;  // §5.1.3 countdown to the next drop
   std::uint32_t burst_left_ = 0;    // remaining drops of the current burst
   sim::Rng drop_rng_;

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for the repo's CI gate scripts.
+
+The gate scripts distinguish "regression" (exit 1) from "shape error —
+your inputs or goldens are stale" (exit 2), and CI wiring depends on that
+distinction (a shape error demands a golden regen, not a revert). This
+runner drives each script against the fixtures/ files and asserts the
+documented exit code and a recognizable stderr/stdout marker for every
+path. Registered in ctest as `scripts_test` (see tests/CMakeLists.txt).
+
+Usage: run_scripts_test.py [repo_root]
+"""
+
+import os
+import subprocess
+import sys
+
+ROOT = os.path.realpath(
+    sys.argv[1] if len(sys.argv) > 1
+    else os.path.join(os.path.dirname(__file__), "..", ".."))
+SCRIPTS = os.path.join(ROOT, "scripts")
+FIXTURES = os.path.join(ROOT, "tests", "scripts_test", "fixtures")
+
+failures = []
+
+
+def fx(name):
+    return os.path.join(FIXTURES, name)
+
+
+def check(label, argv, want_exit, want_text=None):
+    res = subprocess.run([sys.executable] + argv, capture_output=True,
+                         text=True, cwd=ROOT)
+    blob = res.stdout + res.stderr
+    if res.returncode != want_exit:
+        failures.append(
+            f"{label}: exit {res.returncode}, wanted {want_exit}\n{blob}")
+    elif want_text is not None and want_text not in blob:
+        failures.append(
+            f"{label}: output lacks marker {want_text!r}\n{blob}")
+    else:
+        print(f"ok: {label}")
+
+
+def main():
+    md = os.path.join(SCRIPTS, "metrics_diff.py")
+    check("metrics_diff identical", [md, fx("metrics_golden.json"),
+                                     fx("metrics_golden.json")], 0)
+    check("metrics_diff within tolerance", [md, fx("metrics_golden.json"),
+                                            fx("metrics_ok.json")], 0)
+    check("metrics_diff cost regression",
+          [md, fx("metrics_golden.json"), fx("metrics_regressed.json")], 1,
+          "firmware.retransmissions")
+    check("metrics_diff missing value key -> shape error",
+          [md, fx("metrics_golden.json"), fx("metrics_missing_value.json")],
+          2, "no 'value' key")
+    check("metrics_diff stale golden -> shape error",
+          [md, fx("metrics_golden.json"), fx("metrics_stale_golden.json")],
+          2, "re-generate")
+
+    pf = os.path.join(SCRIPTS, "perf_floor.py")
+    check("perf_floor holds",
+          [pf, fx("simcore_run_ok.json"), fx("simcore_floor.json")], 0,
+          "perf smoke OK")
+    check("perf_floor regression",
+          [pf, fx("simcore_run_regressed.json"), fx("simcore_floor.json")],
+          1, "events_per_sec")
+    check("perf_floor unknown run key -> shape error",
+          [pf, fx("simcore_run_unknown_key.json"), fx("simcore_floor.json")],
+          2, "surprise_metric")
+
+    vc = os.path.join(SCRIPTS, "validate_ci.py")
+    check("validate_ci accepts clean workflow",
+          [vc, fx("workflow_ok.yml")], 0, "OK")
+    check("validate_ci rejects unpinned uses",
+          [vc, fx("workflow_bad.yml")], 1, "unpinned action")
+    check("validate_ci rejects moving-branch pin",
+          [vc, fx("workflow_bad.yml")], 1, "moving branch")
+    check("validate_ci rejects duplicate artifact names",
+          [vc, fx("workflow_bad.yml")], 1, "duplicate artifact name")
+    check("validate_ci validates the repo's real workflows", [vc], 0)
+
+    # Coverage ratchet logic, unit-level: check_floor() against synthetic
+    # per-file stats (running gcov here would need an instrumented build).
+    sys.path.insert(0, SCRIPTS)
+    import coverage_summary  # noqa: E402
+    import json
+    import tempfile
+    stats = {"src/chaos/corruptor.cpp": (50, 100),
+             "src/firmware/reliability.cpp": (90, 100)}
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump({"tolerance_pts": 1.0,
+                   "dirs": {"src/chaos": 80.0, "src/firmware": 85.0}}, f)
+        floor_path = f.name
+    try:
+        fails = coverage_summary.check_floor(stats, floor_path)
+        if any("src/chaos" in v for v in fails):
+            print("ok: coverage check_floor flags regression")
+        else:
+            failures.append(f"coverage check_floor missed the regression: "
+                            f"{fails}")
+        if any("src/firmware" in v for v in fails):
+            failures.append("coverage check_floor flagged a held floor: "
+                            f"{fails}")
+        else:
+            print("ok: coverage check_floor holds passing dir")
+        missing = coverage_summary.check_floor(
+            {"src/chaos/corruptor.cpp": (90, 100)}, floor_path)
+        if any("no coverage data" in v for v in missing):
+            print("ok: coverage check_floor flags missing dir")
+        else:
+            failures.append(f"coverage check_floor ignored a floored dir "
+                            f"with no data: {missing}")
+    finally:
+        os.unlink(floor_path)
+
+    if failures:
+        print(f"\nscripts_test: {len(failures)} FAILURE(S)", file=sys.stderr)
+        for msg in failures:
+            print(f"--- {msg}", file=sys.stderr)
+        return 1
+    print("\nscripts_test: all exit-code contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
