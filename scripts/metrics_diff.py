@@ -111,6 +111,22 @@ COST_PREFIXES = (
     "membership.gossip_msgs_tx",
     "membership.gossip_bytes_tx",
     "chaos.peer_exclusions",
+    # Erasure-coded striping + SNS repair (src/ec via src/kv, DESIGN.md §13):
+    # for the same kill campaign, more failed striped calls, parity-path
+    # reads, unit RPC timeouts, repair retries, or abandoned stripes means
+    # the striped service degraded or repair stopped converging cleanly.
+    # ec.repair_throttle_waits is deliberately unclassified — it scales with
+    # the configured token bucket, not protocol health.
+    "ec.striped_failed",
+    "ec.degraded_reads",
+    "ec.unit_timeouts",
+    "ec.stale_replies",
+    "ec.client_bad_msgs",
+    "ec.store_bad_msgs",
+    "ec.store_unit_not_found",
+    "ec.repair_fetch_retries",
+    "ec.repair_put_retries",
+    "ec.repair_stripes_abandoned",
 )
 
 # Counter schema names where shrinkage means useful work was lost.
@@ -138,6 +154,15 @@ GOODPUT_PREFIXES = (
     # fewer confirms for the same kill campaign means detection stopped.
     "membership.acks_rx",
     "membership.confirms",
+    # Striped object class + repair: fewer committed striped calls for the
+    # same workload, or fewer repaired stripes / rebuilt units for the same
+    # kill campaign, means the striped service or its repair stopped working.
+    "ec.striped_puts_ok",
+    "ec.striped_gets_ok",
+    "ec.store_unit_puts",
+    "ec.store_unit_gets",
+    "ec.repair_stripes_repaired",
+    "ec.repair_units_rebuilt",
 )
 
 

@@ -115,6 +115,29 @@ echo "--- membership gate: bench_membership --quick determinism double run"
 cmp build/membership_quick.json build/membership_quick2.json
 echo "membership determinism OK: double run bit-identical"
 
+# Repair gate (DESIGN.md §13, EXPERIMENTS.md "Repair bandwidth vs foreground
+# goodput"): the striped host-kill sweep must reconstruct every stripe with
+# clean audits, an honest token bucket, and a throttle-bounded goodput dip —
+# the binary exits nonzero otherwise — and a second run must produce a
+# byte-identical repair transcript and cell JSON.
+echo "--- repair gate: bench_repair --quick determinism double run"
+./build/bench/bench_repair --quick \
+    --json build/repair_quick.json \
+    --log build/repair_quick_events.log >/dev/null
+./build/bench/bench_repair --quick \
+    --json build/repair_quick2.json \
+    --log build/repair_quick2_events.log >/dev/null
+cmp build/repair_quick.json build/repair_quick2.json
+cmp build/repair_quick_events.log build/repair_quick2_events.log
+# Serial oracle vs conservative parallel engine on the clos-16 repair smoke
+# scenario: the artifact must not depend on thread count.
+./build/bench/bench_repair --sim-threads 0 \
+    --log build/repair_st0.log >/dev/null
+./build/bench/bench_repair --sim-threads 4 \
+    --log build/repair_st4.log >/dev/null
+cmp build/repair_st0.log build/repair_st4.log
+echo "repair determinism OK: double run and sim-threads 0/4 bit-identical"
+
 # Workflow static validation (actionlint stand-in; no-op without PyYAML).
 python3 scripts/validate_ci.py
 

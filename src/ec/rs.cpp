@@ -1,0 +1,210 @@
+#include "ec/rs.hpp"
+
+#include <cassert>
+
+#include "ec/gf256.hpp"
+
+namespace sanfault::ec {
+
+namespace {
+
+using Matrix = std::vector<std::vector<std::uint8_t>>;
+using MulFn = std::uint8_t (*)(std::uint8_t, std::uint8_t);
+using InvFn = std::uint8_t (*)(std::uint8_t);
+
+/// In-place Gauss-Jordan inverse over GF(256). False when singular (never
+/// for the matrices this codec builds; reconstruct() still checks).
+bool invert(Matrix& a, MulFn mul, InvFn inv) {
+  const std::size_t n = a.size();
+  Matrix id(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) id[i][i] = 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(id[pivot], id[col]);
+    const std::uint8_t scale = inv(a[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col][j] = mul(a[col][j], scale);
+      id[col][j] = mul(id[col][j], scale);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      const std::uint8_t f = a[row][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        a[row][j] = static_cast<std::uint8_t>(a[row][j] ^ mul(f, a[col][j]));
+        id[row][j] = static_cast<std::uint8_t>(id[row][j] ^ mul(f, id[col][j]));
+      }
+    }
+  }
+  a = std::move(id);
+  return true;
+}
+
+/// Systematic generator: V * inverse(top k rows of V), with V the
+/// (k+m) x k Vandermonde matrix on evaluation points 0..k+m-1. Any k rows
+/// of V are a Vandermonde square on distinct points, hence invertible, and
+/// right-multiplying by an invertible matrix preserves that — the MDS
+/// property reconstruct() relies on.
+Matrix make_generator(std::size_t k, std::size_t m, MulFn mul, InvFn inv) {
+  const std::size_t n = k + m;
+  Matrix v(n, std::vector<std::uint8_t>(k, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    std::uint8_t p = 1;  // r^0 (0^0 == 1 by the Vandermonde convention)
+    for (std::size_t c = 0; c < k; ++c) {
+      v[r][c] = p;
+      p = mul(p, static_cast<std::uint8_t>(r));
+    }
+  }
+  Matrix top(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k));
+  const bool ok = invert(top, mul, inv);
+  assert(ok && "Vandermonde top block is always invertible");
+  (void)ok;
+  Matrix g(n, std::vector<std::uint8_t>(k, 0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      std::uint8_t acc = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        acc = static_cast<std::uint8_t>(acc ^ mul(v[r][j], top[j][c]));
+      }
+      g[r][c] = acc;
+    }
+  }
+  return g;
+}
+
+void encode_with(const Matrix& g, std::size_t k, MulFn mul,
+                 std::vector<std::vector<std::uint8_t>>& units) {
+  const std::size_t n = g.size();
+  assert(units.size() == n && "encode needs all n unit slots");
+  const std::size_t len = units[0].size();
+  for (std::size_t r = k; r < n; ++r) {
+    units[r].assign(len, 0);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t coef = g[r][j];
+      if (coef == 0) continue;
+      assert(units[j].size() == len && "unit sizes must match");
+      for (std::size_t t = 0; t < len; ++t) {
+        units[r][t] = static_cast<std::uint8_t>(units[r][t] ^
+                                                mul(coef, units[j][t]));
+      }
+    }
+  }
+}
+
+bool reconstruct_with(const Matrix& g, std::size_t k, MulFn mul, InvFn inv,
+                      std::vector<std::vector<std::uint8_t>>& units,
+                      const std::vector<bool>& present) {
+  const std::size_t n = g.size();
+  assert(units.size() == n && present.size() == n);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < n && rows.size() < k; ++i) {
+    if (present[i]) rows.push_back(i);
+  }
+  if (rows.size() < k) return false;
+  const std::size_t len = units[rows[0]].size();
+
+  Matrix a(k, std::vector<std::uint8_t>(k, 0));
+  for (std::size_t i = 0; i < k; ++i) a[i] = g[rows[i]];
+  if (!invert(a, mul, inv)) return false;
+
+  // D = A^-1 * survivors: the original data units.
+  Matrix data(k, std::vector<std::uint8_t>(len, 0));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t coef = a[i][j];
+      if (coef == 0) continue;
+      const auto& src = units[rows[j]];
+      assert(src.size() == len && "survivor sizes must match");
+      for (std::size_t t = 0; t < len; ++t) {
+        data[i][t] = static_cast<std::uint8_t>(data[i][t] ^ mul(coef, src[t]));
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < n; ++r) {
+    if (present[r]) continue;
+    units[r].assign(len, 0);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint8_t coef = g[r][j];
+      if (coef == 0) continue;
+      for (std::size_t t = 0; t < len; ++t) {
+        units[r][t] = static_cast<std::uint8_t>(units[r][t] ^
+                                                mul(coef, data[j][t]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RsCodec::RsCodec(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  assert(k >= 1 && m >= 1 && k + m <= 255 && "unsupported stripe geometry");
+  g_ = make_generator(k, m, &gf_mul, &gf_inv);
+  g_ref_ = make_generator(k, m, &gf_mul_slow, &gf_inv_slow);
+}
+
+std::size_t RsCodec::unit_len(std::size_t object_len) const {
+  return object_len == 0 ? 1 : (object_len + k_ - 1) / k_;
+}
+
+std::vector<std::vector<std::uint8_t>> RsCodec::split(
+    const std::vector<std::uint8_t>& object) const {
+  const std::size_t len = unit_len(object.size());
+  std::vector<std::vector<std::uint8_t>> units(
+      n(), std::vector<std::uint8_t>(len, 0));
+  for (std::size_t i = 0; i < object.size(); ++i) {
+    units[i / len][i % len] = object[i];
+  }
+  return units;
+}
+
+std::vector<std::uint8_t> RsCodec::join(
+    const std::vector<std::vector<std::uint8_t>>& units,
+    std::size_t object_len) const {
+  assert(units.size() >= k_);
+  std::vector<std::uint8_t> out(object_len);
+  const std::size_t len = units[0].size();
+  for (std::size_t i = 0; i < object_len; ++i) {
+    out[i] = units[i / len][i % len];
+  }
+  return out;
+}
+
+void RsCodec::encode(std::vector<std::vector<std::uint8_t>>& units) const {
+  encode_with(g_, k_, &gf_mul, units);
+}
+
+bool RsCodec::reconstruct(std::vector<std::vector<std::uint8_t>>& units,
+                          const std::vector<bool>& present) const {
+  return reconstruct_with(g_, k_, &gf_mul, &gf_inv, units, present);
+}
+
+bool RsCodec::verify(
+    const std::vector<std::vector<std::uint8_t>>& units) const {
+  assert(units.size() == n());
+  std::vector<std::vector<std::uint8_t>> check(
+      units.begin(), units.begin() + static_cast<std::ptrdiff_t>(k_));
+  check.resize(n());
+  encode_with(g_, k_, &gf_mul, check);
+  for (std::size_t r = k_; r < n(); ++r) {
+    if (check[r] != units[r]) return false;
+  }
+  return true;
+}
+
+void RsCodec::encode_reference(
+    std::vector<std::vector<std::uint8_t>>& units) const {
+  encode_with(g_ref_, k_, &gf_mul_slow, units);
+}
+
+bool RsCodec::reconstruct_reference(
+    std::vector<std::vector<std::uint8_t>>& units,
+    const std::vector<bool>& present) const {
+  return reconstruct_with(g_ref_, k_, &gf_mul_slow, &gf_inv_slow, units,
+                          present);
+}
+
+}  // namespace sanfault::ec

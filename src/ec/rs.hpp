@@ -1,0 +1,86 @@
+// Systematic Reed-Solomon erasure codec over GF(256).
+//
+// A stripe holds n = k + m units: the first k are verbatim slices of the
+// object ("data units"), the last m are parity. The generator matrix is the
+// classic systematic Vandermonde construction: build the (k+m) x k
+// Vandermonde matrix V with evaluation points 0..k+m-1, then right-multiply
+// by the inverse of its top k x k block. The top k rows become the identity
+// (systematic: data units are plain object bytes) and any k rows of the
+// result stay linearly independent, so the stripe survives the loss of ANY
+// m units — reconstruct() inverts the k rows that did survive and re-derives
+// everything else. This is exactly the striping-pattern contract cortx-motr's
+// SNS repair assumes of its parity groups (SNIPPETS.md §2).
+//
+// Every public operation exists twice: the production path on the log/exp
+// tables (gf_mul) and a *_reference oracle built only on the bitwise slow
+// field ops (gf_mul_slow), with its own independently derived generator.
+// tests/ec_codec_test.cpp byte-compares the two on every battery case, so a
+// table bug cannot hide behind a matching decode bug.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sanfault::ec {
+
+class RsCodec {
+ public:
+  /// Requires 1 <= k, 1 <= m, k + m <= 255.
+  RsCodec(std::size_t k, std::size_t m);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return k_ + m_; }
+
+  /// Bytes per unit for an object of `object_len` bytes (ceil(len/k), at
+  /// least 1 so empty objects still stripe).
+  [[nodiscard]] std::size_t unit_len(std::size_t object_len) const;
+
+  /// Slice an object into n equally sized units: k data slices (the last one
+  /// zero-padded) plus m zeroed parity units ready for encode().
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> split(
+      const std::vector<std::uint8_t>& object) const;
+
+  /// Reassemble the object from the k data units, trimming the padding.
+  [[nodiscard]] std::vector<std::uint8_t> join(
+      const std::vector<std::vector<std::uint8_t>>& units,
+      std::size_t object_len) const;
+
+  /// Fill units[k..n) (parity) from units[0..k) (data). All n units must be
+  /// present and equally sized.
+  void encode(std::vector<std::vector<std::uint8_t>>& units) const;
+
+  /// Rebuild every unit whose `present` flag is false from the survivors.
+  /// Present units are untouched (missing slots may be empty vectors on
+  /// entry). False when fewer than k units are present.
+  bool reconstruct(std::vector<std::vector<std::uint8_t>>& units,
+                   const std::vector<bool>& present) const;
+
+  /// With all n units present: recompute parity from data and compare.
+  /// False on any mismatch — catches corrupt units and units assembled
+  /// under the wrong index labels (a stripe decoded from mislabeled
+  /// survivors re-encodes to different parity).
+  [[nodiscard]] bool verify(
+      const std::vector<std::vector<std::uint8_t>>& units) const;
+
+  // --- slow reference oracle (tests only) ---------------------------------
+  void encode_reference(std::vector<std::vector<std::uint8_t>>& units) const;
+  bool reconstruct_reference(std::vector<std::vector<std::uint8_t>>& units,
+                             const std::vector<bool>& present) const;
+
+  /// The systematic generator, n rows by k columns (row r holds unit r's
+  /// coefficients over the data units).
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& generator()
+      const {
+    return g_;
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  std::vector<std::vector<std::uint8_t>> g_;      // fast path (tables)
+  std::vector<std::vector<std::uint8_t>> g_ref_;  // reference (slow ops)
+};
+
+}  // namespace sanfault::ec

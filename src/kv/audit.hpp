@@ -21,13 +21,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "ec/placement.hpp"
+#include "ec/rs.hpp"
 #include "kv/server.hpp"
 #include "kv/shard_map.hpp"
+#include "kv/striped.hpp"
 #include "kv/wire.hpp"
 
 namespace sanfault::kv {
@@ -144,6 +148,130 @@ inline AuditResult audit(const ShardMap& map,
     for (const auto& [key, value] : back->store()) {
       if (map.shard_of(key) != shard) continue;
       if (!prim->store().contains(key)) ++r.replica_mismatches;
+    }
+  }
+  return r;
+}
+
+// --- striped object class ----------------------------------------------------
+
+/// Shadow for striped writes: one entry per issued striped PUT (tests and
+/// benches write each key once, so id <-> key is one-to-one).
+class StripedShadow {
+ public:
+  struct Issued {
+    RequestId id;
+    std::uint64_t key = 0;
+    std::uint32_t object_len = 0;
+  };
+  void record_issued(const RequestId& id, std::uint64_t key,
+                     std::uint32_t object_len) {
+    issued_.emplace(id.packed(), Issued{id, key, object_len});
+  }
+  void record_committed(const RequestId& id) {
+    committed_.insert(id.packed());
+  }
+  [[nodiscard]] const std::unordered_map<std::uint64_t, Issued>& issued()
+      const {
+    return issued_;
+  }
+  [[nodiscard]] const std::unordered_set<std::uint64_t>& committed() const {
+    return committed_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Issued> issued_;
+  std::unordered_set<std::uint64_t> committed_;
+};
+
+struct StripedAuditResult {
+  std::uint64_t committed = 0;
+  std::uint64_t lost = 0;          // committed stripe not fully reconstructible
+  std::uint64_t mismatched = 0;    // decoded bytes differ from what was written
+  std::uint64_t duplicated = 0;    // a (writer, unit) applied >1x on one node
+  std::uint64_t incomplete = 0;    // committed stripe short of a unit on a
+                                   // live resolved holder (repair incomplete)
+  std::uint64_t alien_units = 0;   // stored unit from no issued write
+  [[nodiscard]] bool ok() const {
+    return lost == 0 && mismatched == 0 && duplicated == 0 &&
+           incomplete == 0 && alien_units == 0;
+  }
+};
+
+/// Extended exactly-once audit over the striped object class. For every
+/// committed striped write, under the final membership view (`dead`, null =
+/// all live):
+///   1. completeness — every unit the StripeMap currently resolves to a live
+///      holder is actually present on that holder (repair converged);
+///   2. no lost data — the stripe decodes from live units back to the exact
+///      bytes make_value(id, len) produced;
+///   3. exactly-once — no (writer, unit) pair was applied more than once on
+///      any single node (transport retries + repair re-writes deduped);
+///   4. provenance — every stored unit anywhere traces to an issued write.
+/// Call after quiesce (repair machines idle).
+inline StripedAuditResult audit_striped(
+    const ec::StripeMap& map, const ec::RsCodec& codec,
+    const std::vector<const StripedStore*>& stores,
+    const StripedShadow& shadow,
+    const std::function<bool(net::HostId)>& dead = {}) {
+  StripedAuditResult r;
+  r.committed = shadow.committed().size();
+
+  std::unordered_map<std::uint32_t, const StripedStore*> by_host;
+  for (const auto* s : stores) by_host[s->host().v] = s;
+
+  for (const auto& [packed, w] : shadow.issued()) {
+    if (!shadow.committed().contains(packed)) continue;
+    const std::size_t group = map.group_of(w.key);
+    const auto holders = map.resolve(group, dead);
+    std::vector<std::vector<std::uint8_t>> units(map.n());
+    std::vector<bool> have(map.n(), false);
+    std::size_t found = 0;
+    for (std::size_t u = 0; u < map.n(); ++u) {
+      if (dead && dead(holders[u])) continue;  // unit died with its holder
+      const auto hit = by_host.find(holders[u].v);
+      if (hit == by_host.end()) continue;
+      const auto& store = hit->second->store();
+      bool present = false;
+      const auto kit = store.find(w.key);
+      if (kit != store.end()) {
+        const auto uit = kit->second.find(static_cast<std::uint8_t>(u));
+        if (uit != kit->second.end()) {
+          units[u] = uit->second.bytes;
+          have[u] = true;
+          ++found;
+          present = true;
+        }
+      }
+      if (!present) ++r.incomplete;  // live resolved holder missing its unit
+    }
+    if (found < codec.k()) {
+      ++r.lost;
+      continue;
+    }
+    auto full = units;
+    if (!codec.reconstruct(full, have)) {
+      ++r.lost;
+      continue;
+    }
+    const auto decoded = codec.join(full, w.object_len);
+    if (decoded != make_value(w.id, w.object_len)) ++r.mismatched;
+  }
+
+  // 3+4: per-node unit scans.
+  for (const auto* s : stores) {
+    for (const auto& [packed, units] : s->apply_counts()) {
+      for (const auto& [unit, count] : units) {
+        if (count > 1) ++r.duplicated;
+      }
+    }
+    for (const auto& [key, units] : s->store()) {
+      for (const auto& [unit, rec] : units) {
+        const auto it = shadow.issued().find(rec.writer.packed());
+        if (it == shadow.issued().end() || it->second.key != key) {
+          ++r.alien_units;
+        }
+      }
     }
   }
   return r;

@@ -13,10 +13,14 @@
 #include <memory>
 #include <vector>
 
+#include "ec/placement.hpp"
+#include "ec/rs.hpp"
 #include "harness/cluster.hpp"
 #include "kv/client.hpp"
+#include "kv/repair.hpp"
 #include "kv/server.hpp"
 #include "kv/shard_map.hpp"
+#include "kv/striped.hpp"
 #include "membership/fault_domains.hpp"
 #include "membership/swim.hpp"
 #include "sim/process.hpp"
@@ -49,6 +53,16 @@ struct KvRigConfig {
   /// primary (harness::Cluster::host_pods feeds the ShardMap). Pure
   /// construction-time policy: only changes placement on multi-pod fabrics.
   bool pod_aware_placement = false;
+
+  /// Run the erasure-coded striped object class (src/ec) alongside the
+  /// primary-backup service: a StripedStore + RepairMachine on every server
+  /// and a StripedClient on every client host, sharing the same message
+  /// endpoints via chained taps. Degraded reads and on-confirm repair need
+  /// `membership` on; without it everything is simply presumed live.
+  bool striped = false;
+  ec::StripeMapConfig stripe;
+  StripedClientConfig striped_client;
+  RepairConfig repair;
 };
 
 class KvRig {
@@ -85,6 +99,30 @@ class KvRig {
           c.sched, *msgs[cfg_.num_servers + i], *map));
     }
 
+    if (cfg_.striped) {
+      std::vector<net::HostId> stripe_servers(
+          c.hosts.begin(),
+          c.hosts.begin() + static_cast<std::ptrdiff_t>(cfg_.num_servers));
+      std::vector<std::uint32_t> stripe_pods(
+          c.host_pods.begin(),
+          c.host_pods.begin() + static_cast<std::ptrdiff_t>(cfg_.num_servers));
+      stripe_map = std::make_unique<ec::StripeMap>(
+          std::move(stripe_servers), std::move(stripe_pods), cfg_.stripe);
+      codec = std::make_unique<ec::RsCodec>(cfg_.stripe.k, cfg_.stripe.m);
+      for (std::size_t i = 0; i < cfg_.num_servers; ++i) {
+        stores.push_back(
+            std::make_unique<StripedStore>(c.sched, *msgs[i]));
+        repairs.push_back(std::make_unique<RepairMachine>(
+            c.sched, *msgs[i], *stores.back(), *stripe_map, *codec,
+            cfg_.repair));
+      }
+      for (std::size_t i = 0; i < cfg_.num_client_hosts; ++i) {
+        striped_clients.push_back(std::make_unique<StripedClient>(
+            c.sched, *msgs[cfg_.num_servers + i], *stripe_map, *codec,
+            cfg_.striped_client));
+      }
+    }
+
     connect_mesh();
     for (auto& s : servers) s->start();
     for (auto& ch : clients) ch->start();
@@ -99,13 +137,40 @@ class KvRig {
             [this, i](net::HostId dead, sim::Time) {
               c.rel(i).exclude_peer(dead);
             });
+        if (cfg_.striped && i < cfg_.num_servers) {
+          RepairMachine* rm = repairs[i].get();
+          agents.back()->add_confirm_hook(
+              [rm](net::HostId dead, sim::Time at) {
+                rm->on_confirm(dead, at);
+              });
+        }
       }
       for (std::size_t k = 0; k < clients.size(); ++k) {
         membership::SwimAgent* a = agents[cfg_.num_servers + k].get();
         clients[k]->set_dead_hook(
             [a](net::HostId h) { return a->confirmed_dead(h); });
       }
+      if (cfg_.striped) {
+        for (std::size_t i = 0; i < cfg_.num_servers; ++i) {
+          membership::SwimAgent* a = agents[i].get();
+          repairs[i]->set_dead_hook(
+              [a](net::HostId h) { return a->confirmed_dead(h); });
+        }
+        for (std::size_t k = 0; k < striped_clients.size(); ++k) {
+          membership::SwimAgent* a = agents[cfg_.num_servers + k].get();
+          striped_clients[k]->set_dead_hook(
+              [a](net::HostId h) { return a->confirmed_dead(h); });
+        }
+      }
       for (auto& a : agents) a->start();
+    }
+
+    // Striped taps chain on AFTER membership installed its gossip tap, so
+    // unit traffic is claimed first and everything else falls through.
+    if (cfg_.striped) {
+      for (auto& st : stores) st->start();
+      for (auto& rm : repairs) rm->start();
+      for (auto& sc : striped_clients) sc->start();
     }
   }
 
@@ -122,12 +187,25 @@ class KvRig {
     for (const auto& ch : clients) v.push_back(ch.get());
     return v;
   }
-  /// True once every server has no write awaiting replication.
+  /// True once every server has no write awaiting replication and no repair
+  /// machine has queued or in-flight work.
   [[nodiscard]] bool servers_idle() const {
     for (const auto& s : servers) {
       if (!s->idle()) return false;
     }
+    for (const auto& rm : repairs) {
+      if (!rm->idle()) return false;
+    }
     return true;
+  }
+
+  [[nodiscard]] StripedClient& striped_client(std::size_t i) {
+    return *striped_clients.at(i);
+  }
+  [[nodiscard]] std::vector<const StripedStore*> store_view() const {
+    std::vector<const StripedStore*> v;
+    for (const auto& st : stores) v.push_back(st.get());
+    return v;
   }
 
   /// Every host's reliable firmware, in host order. Chaos campaigns use
@@ -160,6 +238,12 @@ class KvRig {
   std::vector<std::unique_ptr<KvClientHost>> clients;
   /// One SWIM agent per host, host order (empty unless cfg.membership).
   std::vector<std::unique_ptr<membership::SwimAgent>> agents;
+  /// Striped object class (empty unless cfg.striped).
+  std::unique_ptr<ec::StripeMap> stripe_map;
+  std::unique_ptr<ec::RsCodec> codec;
+  std::vector<std::unique_ptr<StripedStore>> stores;     // per server
+  std::vector<std::unique_ptr<RepairMachine>> repairs;   // per server
+  std::vector<std::unique_ptr<StripedClient>> striped_clients;
 
  private:
   static KvRigConfig fix(KvRigConfig cfg) {

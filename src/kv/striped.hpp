@@ -1,0 +1,202 @@
+// Erasure-coded striped object class for the KV service.
+//
+// A striped PUT encodes the object with the shared ec::RsCodec into k data +
+// m parity units and writes each unit to the holder the ec::StripeMap names
+// for its parity group — k+m distinct servers in distinct fault domains. A
+// striped GET fetches the k data units in parallel; when a holder is
+// confirmed dead (SWIM oracle) or simply slow, it falls back to a DEGRADED
+// read: fetch parity too, reconstruct from any k survivors, and return the
+// exact original bytes without waiting for repair.
+//
+// Two components, both riding the existing vmmc::MsgEndpoint as pre-inbox
+// taps (the primary-backup KvServer never sees unit traffic, and membership
+// gossip chains through untouched):
+//
+//  * StripedStore  — server side. Owns this node's unit store, dedups unit
+//    writes per (writer id, unit) so transport retries and repair re-writes
+//    stay exactly-once, and answers unit fetches. apply_local() is the
+//    repair machine's loopback for units it re-homes onto its own node.
+//  * StripedClient — client-host side. put()/get() with per-unit retry
+//    workers mirroring KvClientHost's timeout/backoff discipline, plus the
+//    degraded-read state machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ec/placement.hpp"
+#include "ec/rs.hpp"
+#include "kv/wire.hpp"
+#include "obs/metrics.hpp"
+#include "sim/awaitables.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+#include "vmmc/rpc.hpp"
+
+namespace sanfault::kv {
+
+/// One stored stripe unit. `writer` is the original client write's id even
+/// after repair re-materialises the unit on a spare — the extended
+/// exactly-once audit keys provenance on it.
+struct UnitRecord {
+  RequestId writer;
+  std::uint32_t object_len = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct StripedStoreStats {
+  std::uint64_t unit_puts = 0;       // first-time applies
+  std::uint64_t dup_unit_puts = 0;   // retries / repair re-writes, re-acked
+  std::uint64_t unit_gets = 0;
+  std::uint64_t unit_not_found = 0;
+  std::uint64_t bad_msgs = 0;
+};
+
+class StripedStore {
+ public:
+  StripedStore(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs);
+  ~StripedStore();
+
+  /// Chain onto the endpoint tap. Call after any membership agent installed
+  /// its own tap (unit messages are claimed first, the rest fall through).
+  void start();
+
+  /// Apply a unit write originating on this very node (repair loopback) —
+  /// same dedup discipline as the wire path, no ack.
+  void apply_local(const UnitPut& p);
+
+  [[nodiscard]] net::HostId host() const { return msgs_.host(); }
+  [[nodiscard]] const StripedStoreStats& stats() const { return stats_; }
+
+  // --- audit / repair hooks -------------------------------------------------
+  /// key -> unit index -> record, every unit this node currently holds.
+  using Store = std::unordered_map<std::uint64_t, std::map<std::uint8_t, UnitRecord>>;
+  [[nodiscard]] const Store& store() const { return store_; }
+  /// Times each (writer id, unit) pair was applied here (dedup makes >1
+  /// impossible unless the store itself is buggy — the audit checks).
+  [[nodiscard]] const std::unordered_map<std::uint64_t,
+                                         std::map<std::uint8_t, std::uint32_t>>&
+  apply_counts() const {
+    return apply_counts_;
+  }
+
+ private:
+  bool handle(const vmmc::Msg& m);
+  void on_unit_put(UnitPut p);
+  sim::Process answer_get(UnitGet g);
+  sim::Process post_to(std::uint32_t to, std::vector<std::uint8_t> bytes);
+
+  sim::Scheduler& sched_;
+  vmmc::MsgEndpoint& msgs_;
+  Store store_;
+  std::unordered_map<std::uint64_t, std::map<std::uint8_t, std::uint32_t>>
+      apply_counts_;
+  StripedStoreStats stats_;
+};
+
+struct StripedClientConfig {
+  sim::Duration base_timeout = sim::milliseconds(3);
+  sim::Duration max_timeout = sim::milliseconds(50);
+  /// Per unit-write worker; writes are persistent like replication.
+  int put_max_attempts = 12;
+  /// Per unit-fetch attempt budget inside one read round (reads give up on a
+  /// unit quickly — the degraded path covers for it).
+  int get_attempts = 4;
+  /// Full read rounds (fetch data, then parity, reconstruct) before kTimeout.
+  int get_rounds = 3;
+};
+
+/// Result of one striped call, after all retries.
+struct StripedOutcome {
+  Status status = Status::kTimeout;
+  RequestId id;
+  std::vector<std::uint8_t> value;
+  bool degraded = false;  // reconstructed from parity
+  sim::Time issued_at = 0;
+  sim::Time completed_at = 0;
+  [[nodiscard]] bool ok() const {
+    return status == Status::kOk || status == Status::kNotFound;
+  }
+  [[nodiscard]] sim::Duration latency() const {
+    return completed_at - issued_at;
+  }
+};
+
+struct StripedClientStats {
+  std::uint64_t puts = 0;
+  std::uint64_t puts_ok = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t gets_ok = 0;
+  std::uint64_t degraded_reads = 0;  // served via reconstruction
+  std::uint64_t failed = 0;          // calls that exhausted all retries
+  std::uint64_t unit_posts = 0;
+  std::uint64_t unit_timeouts = 0;
+  std::uint64_t dead_skips = 0;      // unit targets re-resolved off a corpse
+  std::uint64_t stale_replies = 0;
+  std::uint64_t bad_msgs = 0;
+};
+
+class StripedClient {
+ public:
+  StripedClient(sim::Scheduler& sched, vmmc::MsgEndpoint& msgs,
+                const ec::StripeMap& map, const ec::RsCodec& codec,
+                StripedClientConfig cfg = {});
+  ~StripedClient();
+
+  /// Chain onto the endpoint tap (after membership).
+  void start();
+
+  /// Membership oracle, same contract as KvClientHost::set_dead_hook: unit
+  /// targets are re-resolved through the StripeMap before every attempt.
+  using DeadHook = std::function<bool(net::HostId)>;
+  void set_dead_hook(DeadHook dead) { dead_ = std::move(dead); }
+
+  /// Encode `value` and write all k+m units. Commits (kOk) only when EVERY
+  /// unit is acked by its holder — the stripe's m-failure tolerance starts
+  /// whole. The caller owns id uniqueness.
+  sim::Task<StripedOutcome> put(RequestId id, std::uint64_t key,
+                                std::vector<std::uint8_t> value);
+
+  /// Read the object; degrades to parity reconstruction when data units are
+  /// unreachable. `id` only brands the outcome (unit fetches use an internal
+  /// per-host fetch id space).
+  sim::Task<StripedOutcome> get(RequestId id, std::uint64_t key);
+
+  [[nodiscard]] net::HostId host() const { return msgs_.host(); }
+  [[nodiscard]] const StripedClientStats& stats() const { return stats_; }
+
+ private:
+  struct PendingUnit {
+    sim::Trigger done;
+    bool replied = false;
+    Status status = Status::kTimeout;
+    UnitReply reply;  // fetches only
+  };
+
+  bool handle(const vmmc::Msg& m);
+  /// Re-resolve the holder of `unit` under the current membership view.
+  [[nodiscard]] net::HostId holder_of(std::size_t group, std::size_t unit);
+  sim::Process put_unit(std::uint64_t packed_id, UnitPut put, char* ok,
+                        sim::WaitGroup* wg);
+  sim::Process fetch_unit(std::size_t group, UnitGet get, PendingUnit* pu,
+                          sim::WaitGroup* wg);
+
+  sim::Scheduler& sched_;
+  vmmc::MsgEndpoint& msgs_;
+  const ec::StripeMap& map_;
+  const ec::RsCodec& codec_;
+  StripedClientConfig cfg_;
+  DeadHook dead_;
+  // (request id, unit) -> worker, for both put acks and fetch replies; put
+  // workers key on the writer id, fetch workers on the internal fetch id.
+  std::unordered_map<std::uint64_t, std::map<std::uint8_t, PendingUnit*>>
+      pending_;
+  std::uint64_t fetch_seq_ = 0;
+  StripedClientStats stats_;
+  obs::Histogram* put_latency_ = nullptr;
+  obs::Histogram* get_latency_ = nullptr;
+};
+
+}  // namespace sanfault::kv

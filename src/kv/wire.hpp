@@ -26,6 +26,13 @@ enum class MsgType : std::uint8_t {
   kReply = 2,
   kReplicate = 3,
   kReplAck = 4,
+  // Erasure-coded striped object class (src/ec): one message pair per stripe
+  // unit. Carried on the same rings, intercepted by StripedStore/StripedClient
+  // taps before the primary-backup dispatch loop ever sees them.
+  kUnitPut = 5,
+  kUnitAck = 6,
+  kUnitGet = 7,
+  kUnitReply = 8,
 };
 
 enum class Op : std::uint8_t { kGet = 1, kPut = 2, kDel = 3 };
@@ -70,6 +77,43 @@ struct Replicate {
 
 struct ReplAck {
   std::uint64_t repl_seq = 0;
+};
+
+/// One stripe unit of a striped PUT (client -> holder, or repair -> spare).
+/// `id` is the ORIGINAL writer's request id even when the repair machine
+/// re-materialises the unit — the exactly-once audit keys on it.
+struct UnitPut {
+  RequestId id;
+  std::uint64_t key = 0;
+  std::uint8_t unit = 0;
+  std::uint32_t object_len = 0;  // pre-encode length; join() needs it
+  std::uint32_t reply_to = 0;    // HostId to ack
+  std::vector<std::uint8_t> value;
+};
+
+struct UnitAck {
+  RequestId id;
+  std::uint64_t key = 0;
+  std::uint8_t unit = 0;
+  Status status = Status::kOk;
+};
+
+/// Fetch one stripe unit (degraded read or repair source read).
+struct UnitGet {
+  RequestId id;  // of the FETCH (reader's id space), not the writer's
+  std::uint64_t key = 0;
+  std::uint8_t unit = 0;
+  std::uint32_t reply_to = 0;
+};
+
+struct UnitReply {
+  RequestId id;
+  std::uint64_t key = 0;
+  std::uint8_t unit = 0;
+  Status status = Status::kOk;
+  RequestId writer;              // original writer id (audit provenance)
+  std::uint32_t object_len = 0;
+  std::vector<std::uint8_t> value;
 };
 
 // --- byte-level encode/decode ----------------------------------------------
@@ -177,6 +221,122 @@ inline std::vector<std::uint8_t> encode(const ReplAck& r) {
   detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kReplAck));
   detail::put_u64(b, r.repl_seq);
   return b;
+}
+
+inline std::vector<std::uint8_t> encode(const UnitPut& u) {
+  std::vector<std::uint8_t> b;
+  b.reserve(38 + u.value.size());
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kUnitPut));
+  detail::put_u64(b, u.id.client);
+  detail::put_u64(b, u.id.seq);
+  detail::put_u64(b, u.key);
+  detail::put_u8(b, u.unit);
+  detail::put_u32(b, u.object_len);
+  detail::put_u32(b, u.reply_to);
+  detail::put_bytes(b, u.value);
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const UnitAck& u) {
+  std::vector<std::uint8_t> b;
+  b.reserve(27);
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kUnitAck));
+  detail::put_u64(b, u.id.client);
+  detail::put_u64(b, u.id.seq);
+  detail::put_u64(b, u.key);
+  detail::put_u8(b, u.unit);
+  detail::put_u8(b, static_cast<std::uint8_t>(u.status));
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const UnitGet& u) {
+  std::vector<std::uint8_t> b;
+  b.reserve(30);
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kUnitGet));
+  detail::put_u64(b, u.id.client);
+  detail::put_u64(b, u.id.seq);
+  detail::put_u64(b, u.key);
+  detail::put_u8(b, u.unit);
+  detail::put_u32(b, u.reply_to);
+  return b;
+}
+
+inline std::vector<std::uint8_t> encode(const UnitReply& u) {
+  std::vector<std::uint8_t> b;
+  b.reserve(51 + u.value.size());
+  detail::put_u8(b, static_cast<std::uint8_t>(MsgType::kUnitReply));
+  detail::put_u64(b, u.id.client);
+  detail::put_u64(b, u.id.seq);
+  detail::put_u64(b, u.key);
+  detail::put_u8(b, u.unit);
+  detail::put_u8(b, static_cast<std::uint8_t>(u.status));
+  detail::put_u64(b, u.writer.client);
+  detail::put_u64(b, u.writer.seq);
+  detail::put_u32(b, u.object_len);
+  detail::put_bytes(b, u.value);
+  return b;
+}
+
+inline std::optional<UnitPut> decode_unit_put(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kUnitPut) return std::nullopt;
+  UnitPut u;
+  u.id.client = r.u64();
+  u.id.seq = r.u64();
+  u.key = r.u64();
+  u.unit = r.u8();
+  u.object_len = r.u32();
+  u.reply_to = r.u32();
+  u.value = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return u;
+}
+
+inline std::optional<UnitAck> decode_unit_ack(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kUnitAck) return std::nullopt;
+  UnitAck u;
+  u.id.client = r.u64();
+  u.id.seq = r.u64();
+  u.key = r.u64();
+  u.unit = r.u8();
+  u.status = static_cast<Status>(r.u8());
+  if (!r.ok()) return std::nullopt;
+  return u;
+}
+
+inline std::optional<UnitGet> decode_unit_get(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kUnitGet) return std::nullopt;
+  UnitGet u;
+  u.id.client = r.u64();
+  u.id.seq = r.u64();
+  u.key = r.u64();
+  u.unit = r.u8();
+  u.reply_to = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return u;
+}
+
+inline std::optional<UnitReply> decode_unit_reply(
+    const std::vector<std::uint8_t>& b) {
+  detail::Reader r(b);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kUnitReply) return std::nullopt;
+  UnitReply u;
+  u.id.client = r.u64();
+  u.id.seq = r.u64();
+  u.key = r.u64();
+  u.unit = r.u8();
+  u.status = static_cast<Status>(r.u8());
+  u.writer.client = r.u64();
+  u.writer.seq = r.u64();
+  u.object_len = r.u32();
+  u.value = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  return u;
 }
 
 inline std::optional<Request> decode_request(const std::vector<std::uint8_t>& b) {

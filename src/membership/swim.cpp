@@ -272,7 +272,7 @@ void SwimAgent::confirm_dead(net::HostId h) {
   ++stats_.confirms;
   logf("confirm host=" + std::to_string(h.v));
   enqueue_update(h, MemberState::kDead, m.inc);
-  if (confirm_hook_) confirm_hook_(h, m.confirmed_at);
+  for (const auto& hook : confirm_hooks_) hook(h, m.confirmed_at);
 }
 
 // --- probe loop -------------------------------------------------------------

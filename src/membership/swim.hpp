@@ -102,9 +102,17 @@ class SwimAgent {
   void start();
 
   /// Fires exactly once per member this node confirms dead (whether by its
-  /// own suspicion timer or by receiving dead gossip).
+  /// own suspicion timer or by receiving dead gossip). Multiple hooks run in
+  /// installation order — firmware exclusion and the EC repair machine both
+  /// listen without knowing about each other.
   using ConfirmHook = std::function<void(net::HostId dead, sim::Time at)>;
-  void set_confirm_hook(ConfirmHook hook) { confirm_hook_ = std::move(hook); }
+  void set_confirm_hook(ConfirmHook hook) {
+    confirm_hooks_.clear();
+    confirm_hooks_.push_back(std::move(hook));
+  }
+  void add_confirm_hook(ConfirmHook hook) {
+    confirm_hooks_.push_back(std::move(hook));
+  }
 
   [[nodiscard]] net::HostId self() const { return msgs_.host(); }
   [[nodiscard]] MemberState state_of(net::HostId h) const;
@@ -177,7 +185,7 @@ class SwimAgent {
     std::uint64_t nonce = 0;  // the requester's probe-req nonce
   };
   std::map<std::uint64_t, Relay> relays_;  // our ping nonce -> who asked
-  ConfirmHook confirm_hook_;
+  std::vector<ConfirmHook> confirm_hooks_;
   SwimStats stats_;
   std::vector<std::string> log_;
   bool started_ = false;

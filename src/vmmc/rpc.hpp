@@ -86,6 +86,9 @@ class MsgEndpoint {
   /// without the service's dispatch loop having to know its message types.
   using Tap = std::function<bool(const Msg&)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
+  /// Current tap, for chaining: a second sideband protocol captures the
+  /// installed tap and installs a composite that tries it first.
+  [[nodiscard]] const Tap& tap() const { return tap_; }
 
   [[nodiscard]] net::HostId host() const { return ep_.host(); }
   [[nodiscard]] const MsgEndpointStats& stats() const { return stats_; }

@@ -1,0 +1,337 @@
+// Property battery for the GF(256) Reed-Solomon codec and stripe placement
+// (src/ec). The codec half byte-compares the table-driven fast path against
+// the bitwise reference oracle on every case: field axioms, round-trip over a
+// (k,m) grid, exhaustive <=m erasure patterns for small stripes, a seeded
+// random battery (>=100 cases) for large ones, and mislabeled-survivor
+// detection. The placement half checks distinct holders, pod spread,
+// placement stability under host death (only the dead holder's unit moves),
+// and cross-instance determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ec/gf256.hpp"
+#include "ec/placement.hpp"
+#include "ec/rs.hpp"
+#include "sim/rng.hpp"
+
+namespace sanfault {
+namespace {
+
+using ec::RsCodec;
+using ec::StripeMap;
+using ec::StripeMapConfig;
+
+std::vector<std::uint8_t> random_object(sim::Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+// --- GF(256) field axioms ---------------------------------------------------
+
+TEST(Gf256, FastMultiplyMatchesSlowExhaustively) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(ec::gf_mul(static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)),
+                ec::gf_mul_slow(static_cast<std::uint8_t>(a),
+                                static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, InverseIsExactAndMatchesSlow) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(ec::gf_mul(x, ec::gf_inv(x)), 1) << a;
+    EXPECT_EQ(ec::gf_inv(x), ec::gf_inv_slow(x)) << a;
+  }
+}
+
+TEST(Gf256, FieldAxiomsOnSampledTriples) {
+  sim::Rng rng(0xf1e1d);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(ec::gf_mul(a, b), ec::gf_mul(b, a));
+    EXPECT_EQ(ec::gf_mul(a, ec::gf_mul(b, c)), ec::gf_mul(ec::gf_mul(a, b), c));
+    // Distributivity over the field's addition (xor).
+    EXPECT_EQ(ec::gf_mul(a, static_cast<std::uint8_t>(b ^ c)),
+              ec::gf_mul(a, b) ^ ec::gf_mul(a, c));
+    EXPECT_EQ(ec::gf_mul(a, 1), a);
+    EXPECT_EQ(ec::gf_mul(a, 0), 0);
+  }
+}
+
+// --- codec round-trip grid --------------------------------------------------
+
+// Every (k,m) in the grid: encode, erase a deterministic-but-varied set of
+// <=m units, reconstruct, byte-compare against the original object AND
+// against the reference oracle's encoding of the same stripe.
+TEST(RsCodec, RoundTripGridAgainstReferenceOracle) {
+  sim::Rng rng(0x9dc0de);
+  for (std::size_t k : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    for (std::size_t m : {1u, 2u, 3u, 4u}) {
+      RsCodec codec(k, m);
+      const std::size_t len = 16 + rng.uniform(48);
+      const auto object = random_object(rng, len);
+      auto units = codec.split(object);
+      auto ref_units = units;
+      codec.encode(units);
+      codec.encode_reference(ref_units);
+      ASSERT_EQ(units, ref_units) << "k=" << k << " m=" << m;
+      EXPECT_TRUE(codec.verify(units));
+
+      // Erase m units (the worst case), biased to include parity and data.
+      std::vector<bool> present(codec.n(), true);
+      std::size_t erased = 0;
+      while (erased < m) {
+        const std::size_t victim = rng.uniform(codec.n());
+        if (!present[victim]) continue;
+        present[victim] = false;
+        units[victim].clear();
+        ++erased;
+      }
+      auto ref_damaged = units;
+      ASSERT_TRUE(codec.reconstruct(units, present));
+      ASSERT_TRUE(codec.reconstruct_reference(ref_damaged, present));
+      EXPECT_EQ(units, ref_damaged);
+      EXPECT_EQ(codec.join(units, object.size()), object);
+    }
+  }
+}
+
+TEST(RsCodec, ExhaustiveErasurePatternsSmallStripes) {
+  // For k+m <= 8, walk EVERY subset of <=m erased units.
+  for (const auto& [k, m] : {std::pair<std::size_t, std::size_t>{2, 2},
+                            {3, 2},
+                            {4, 2},
+                            {4, 3},
+                            {5, 3}}) {
+    RsCodec codec(k, m);
+    sim::Rng rng(0xe8a5e ^ (k << 8) ^ m);
+    const auto object = random_object(rng, 37);
+    auto clean = codec.split(object);
+    codec.encode(clean);
+    const std::size_t n = codec.n();
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      const auto bits = static_cast<std::size_t>(__builtin_popcount(mask));
+      if (bits == 0 || bits > m) continue;
+      auto units = clean;
+      std::vector<bool> present(n, true);
+      for (std::size_t u = 0; u < n; ++u) {
+        if ((mask >> u) & 1) {
+          present[u] = false;
+          units[u].clear();
+        }
+      }
+      ASSERT_TRUE(codec.reconstruct(units, present))
+          << "k=" << k << " m=" << m << " mask=" << mask;
+      ASSERT_EQ(units, clean) << "k=" << k << " m=" << m << " mask=" << mask;
+    }
+    // One erasure too many must be refused, not silently mis-decoded.
+    std::vector<bool> present(n, true);
+    auto units = clean;
+    for (std::size_t u = 0; u <= m; ++u) {
+      present[u] = false;
+      units[u].clear();
+    }
+    EXPECT_FALSE(codec.reconstruct(units, present));
+  }
+}
+
+// The ISSUE.md battery: >=100 seeded random cases across geometries, every
+// one cross-checked against the reference oracle.
+TEST(RsCodec, SeededRandomBattery) {
+  sim::Rng rng(0xba77e51);
+  int cases = 0;
+  for (int i = 0; i < 120; ++i) {
+    const std::size_t k = 1 + rng.uniform(12);
+    const std::size_t m = 1 + rng.uniform(4);
+    RsCodec codec(k, m);
+    const auto object = random_object(rng, 1 + rng.uniform(300));
+    auto units = codec.split(object);
+    codec.encode(units);
+    {
+      auto ref = codec.split(object);
+      codec.encode_reference(ref);
+      ASSERT_EQ(units, ref) << "case " << i;
+    }
+    const std::size_t losses = 1 + rng.uniform(m);
+    std::vector<bool> present(codec.n(), true);
+    auto damaged = units;
+    std::size_t erased = 0;
+    while (erased < losses) {
+      const std::size_t victim = rng.uniform(codec.n());
+      if (!present[victim]) continue;
+      present[victim] = false;
+      damaged[victim].clear();
+      ++erased;
+    }
+    auto ref_damaged = damaged;
+    ASSERT_TRUE(codec.reconstruct(damaged, present)) << "case " << i;
+    ASSERT_TRUE(codec.reconstruct_reference(ref_damaged, present))
+        << "case " << i;
+    ASSERT_EQ(damaged, units) << "case " << i;
+    ASSERT_EQ(ref_damaged, units) << "case " << i;
+    ASSERT_EQ(codec.join(damaged, object.size()), object) << "case " << i;
+    ++cases;
+  }
+  EXPECT_GE(cases, 100);
+}
+
+// A stripe reassembled under the wrong unit labels (survivor bytes fed into
+// the wrong rows) must not verify: recomputed parity diverges.
+TEST(RsCodec, MislabeledSurvivorsDetected) {
+  RsCodec codec(4, 2);
+  sim::Rng rng(0x50ab);
+  const auto object = random_object(rng, 64);
+  auto units = codec.split(object);
+  codec.encode(units);
+  ASSERT_TRUE(codec.verify(units));
+  auto swapped = units;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_FALSE(codec.verify(swapped));
+  // Same through the reconstruct path: erase a parity unit, feed the decoder
+  // data units under swapped labels, and check the rebuilt stripe fails
+  // verify against what honest units would give.
+  auto damaged = swapped;
+  std::vector<bool> present(codec.n(), true);
+  present[4] = false;
+  damaged[4].clear();
+  ASSERT_TRUE(codec.reconstruct(damaged, present));
+  EXPECT_FALSE(codec.verify(damaged));
+}
+
+TEST(RsCodec, SplitJoinPaddingAndEmptyObjects) {
+  RsCodec codec(4, 2);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 5u, 17u, 64u}) {
+    sim::Rng rng(0x9add ^ len);
+    const auto object = random_object(rng, len);
+    auto units = codec.split(object);
+    ASSERT_EQ(units.size(), codec.n());
+    ASSERT_EQ(units[0].size(), codec.unit_len(len));
+    for (const auto& u : units) EXPECT_EQ(u.size(), codec.unit_len(len));
+    EXPECT_EQ(codec.join(units, len), object) << "len=" << len;
+  }
+}
+
+// --- stripe placement -------------------------------------------------------
+
+std::vector<net::HostId> make_servers(std::size_t n) {
+  std::vector<net::HostId> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(net::HostId{static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+// 16 servers across 4 pods, 4 hosts each (pod-major like clos pods).
+std::vector<std::uint32_t> make_pods(std::size_t n, std::size_t pods) {
+  std::vector<std::uint32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(i % pods);
+  }
+  return out;
+}
+
+TEST(StripeMap, BasePlacementDistinctHostsAndPodSpread) {
+  StripeMapConfig cfg;  // k=4 m=2
+  StripeMap map(make_servers(16), make_pods(16, 4), cfg);
+  for (std::size_t g = 0; g < map.num_groups(); ++g) {
+    const auto& holders = map.base(g);
+    ASSERT_EQ(holders.size(), 6u);
+    std::set<net::HostId> distinct(holders.begin(), holders.end());
+    EXPECT_EQ(distinct.size(), holders.size()) << "group " << g;
+    // 6 units over 4 pods: every pod carries at most ceil(6/4) = 2 units.
+    std::map<std::uint32_t, int> per_pod;
+    for (const auto h : holders) ++per_pod[static_cast<std::uint32_t>(h.v % 4)];
+    for (const auto& [pod, count] : per_pod) {
+      EXPECT_LE(count, 2) << "group " << g << " pod " << pod;
+    }
+  }
+}
+
+TEST(StripeMap, ResolveMovesOnlyTheDeadHoldersUnit) {
+  StripeMap map(make_servers(16), make_pods(16, 4), StripeMapConfig{});
+  for (std::size_t g = 0; g < map.num_groups(); ++g) {
+    const auto base = map.base(g);
+    const net::HostId victim = base[2];
+    const auto dead = [victim](net::HostId h) { return h == victim; };
+    const auto resolved = map.resolve(g, dead);
+    ASSERT_EQ(resolved.size(), base.size());
+    for (std::size_t u = 0; u < base.size(); ++u) {
+      if (base[u] == victim) {
+        EXPECT_NE(resolved[u], victim) << "group " << g;
+        EXPECT_FALSE(dead(resolved[u]));
+      } else {
+        EXPECT_EQ(resolved[u], base[u]) << "group " << g << " unit " << u;
+      }
+    }
+    std::set<net::HostId> distinct(resolved.begin(), resolved.end());
+    EXPECT_EQ(distinct.size(), resolved.size());
+  }
+}
+
+TEST(StripeMap, SpareLandsInUnoccupiedPodWhenPossible) {
+  // 4 pods x 4 hosts, k+m = 5: the base stripe occupies 4 pods but only one
+  // pod twice; killing a holder in a singly-occupied pod must pull the spare
+  // from... well, all pods are occupied, so drop to k+m = 4 with 5 pods.
+  StripeMapConfig cfg;
+  cfg.k = 3;
+  cfg.m = 1;
+  StripeMap map(make_servers(20), make_pods(20, 5), cfg);
+  for (std::size_t g = 0; g < map.num_groups(); ++g) {
+    const auto base = map.base(g);
+    std::set<std::uint32_t> base_pods;
+    for (const auto h : base) {
+      base_pods.insert(static_cast<std::uint32_t>(h.v % 5));
+    }
+    ASSERT_EQ(base_pods.size(), 4u) << "group " << g;  // 4 units, 4 pods
+    const net::HostId victim = base[0];
+    const auto resolved =
+        map.resolve(g, [victim](net::HostId h) { return h == victim; });
+    std::set<std::uint32_t> pods_after;
+    for (const auto h : resolved) {
+      pods_after.insert(static_cast<std::uint32_t>(h.v % 5));
+    }
+    // The spare must come from the one pod the surviving 3 units don't use;
+    // victim's pod has no live holder, so 4 distinct pods again.
+    EXPECT_EQ(pods_after.size(), 4u) << "group " << g;
+  }
+}
+
+TEST(StripeMap, DeterministicAcrossInstances) {
+  const StripeMap a(make_servers(16), make_pods(16, 4), StripeMapConfig{});
+  const StripeMap b(make_servers(16), make_pods(16, 4), StripeMapConfig{});
+  const net::HostId victim{3};
+  const auto dead = [victim](net::HostId h) { return h == victim; };
+  for (std::size_t g = 0; g < a.num_groups(); ++g) {
+    EXPECT_EQ(a.base(g), b.base(g)) << "group " << g;
+    EXPECT_EQ(a.resolve(g, dead), b.resolve(g, dead)) << "group " << g;
+  }
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(a.group_of(key), b.group_of(key));
+  }
+}
+
+TEST(StripeMap, GroupsCoverAllServers) {
+  StripeMap map(make_servers(16), make_pods(16, 4), StripeMapConfig{});
+  std::set<net::HostId> used;
+  for (std::size_t g = 0; g < map.num_groups(); ++g) {
+    for (const auto h : map.base(g)) used.insert(h);
+  }
+  // 16 groups x 6 units over 16 servers: the seeded permutations should
+  // leave no server idle (load balance, not just fault tolerance).
+  EXPECT_EQ(used.size(), 16u);
+}
+
+}  // namespace
+}  // namespace sanfault

@@ -22,6 +22,9 @@
 #include "firmware/reliability.hpp"
 #include "firmware/updown.hpp"
 #include "harness/cluster.hpp"
+#include "kv/audit.hpp"
+#include "kv/rig.hpp"
+#include "membership/swim.hpp"
 #include "net/fabric.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
@@ -816,6 +819,112 @@ INSTANTIATE_TEST_SUITE_P(
     AllClasses, SelfStabilizationClos,
     ::testing::Combine(::testing::Range(0, 6),
                        ::testing::Range<std::uint64_t>(9100, 9110)));
+
+// ---------------------------------------------------------------------------
+// Striped host-kill-during-write battery: per seed, a paced stream of striped
+// PUTs is in flight when a seed-chosen server host is cut. Every PUT must
+// still commit (per-unit retries chase the re-homed holders once SWIM
+// confirms), every object must read back byte-exact afterwards, the live
+// repair machines must converge without abandoning a stripe, and the
+// extended exactly-once audit must come back clean under the survivors' view.
+
+class StripedKillDuringWrite : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(StripedKillDuringWrite, AllWritesCommitAndAuditClean) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng knobs(seed ^ 0x57C1BEDull);
+
+  kv::KvRigConfig rc;
+  rc.num_servers = 8;  // k+m = 6 units need 6+ distinct holders
+  rc.num_client_hosts = 2;
+  rc.striped = true;
+  rc.membership = true;
+  rc.ring_per_peer = 16 * 1024;
+  rc.cluster.fabric.seed = seed;
+  kv::KvRig rig(rc);
+
+  const std::size_t victim_idx = knobs.uniform(rc.num_servers);
+  const net::HostId victim = rig.c.hosts[victim_idx];
+  // Live witness for the post-mortem membership view (the victim's own agent
+  // ends up believing everyone else is dead).
+  membership::SwimAgent& witness =
+      *rig.agents[victim_idx == 0 ? 1 : 0];
+
+  // The kill lands mid-stream: writes are paced 100 us apart (~3 ms total),
+  // the cut fires at a seed-chosen instant inside that window.
+  constexpr std::uint64_t kKeys = 30;
+  const sim::Duration kill_at =
+      sim::microseconds(300 + knobs.uniform(2200));
+  rig.c.sched.after(kill_at,
+                    [&rig, victim] { rig.c.fabric().cut_host(victim); });
+
+  kv::StripedShadow shadow;
+  bool wrote = false;
+  [](kv::KvRig& rig, kv::StripedShadow& shadow, std::uint64_t seed,
+     bool& done) -> sim::Process {
+    sim::Rng lens(seed ^ 0x1E4);
+    auto& sc = rig.striped_client(0);
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+      const kv::RequestId id{11, key + 1};
+      const std::uint32_t len =
+          static_cast<std::uint32_t>(24 + lens.uniform(127));
+      shadow.record_issued(id, key, len);
+      auto put = co_await sc.put(id, key, kv::make_value(id, len));
+      EXPECT_EQ(put.status, kv::Status::kOk) << "key " << key;
+      if (put.status == kv::Status::kOk) shadow.record_committed(id);
+      co_await sim::DelayFor{rig.c.sched, sim::microseconds(100)};
+    }
+    done = true;
+  }(rig, shadow, seed, wrote);
+  run_until_done(rig.c, sim::seconds(30), [&] { return wrote; });
+  ASSERT_TRUE(wrote);
+
+  rig.c.sched.run_for(membership::SwimAgent::detection_bound(
+                          rig.config().swim, rig.c.size()) +
+                      sim::milliseconds(5));
+  ASSERT_TRUE(witness.confirmed_dead(victim));
+
+  // Every committed object reads back byte-exact from the other client host,
+  // degraded or not (repair may still be running).
+  bool read = false;
+  [](kv::KvRig& rig, const kv::StripedShadow& shadow,
+     bool& done) -> sim::Process {
+    auto& sc = rig.striped_client(1);
+    for (const auto& [packed, w] : shadow.issued()) {
+      auto get = co_await sc.get({12, w.id.seq}, w.key);
+      EXPECT_EQ(get.status, kv::Status::kOk) << "key " << w.key;
+      EXPECT_EQ(get.value, kv::make_value(w.id, w.object_len))
+          << "key " << w.key;
+    }
+    done = true;
+  }(rig, shadow, read);
+  run_until_done(rig.c, rig.c.sched.now() + sim::seconds(30),
+                 [&] { return read; });
+  ASSERT_TRUE(read);
+
+  rig.quiesce();
+  for (const auto& rm : rig.repairs) {
+    if (rm->host() == victim) continue;  // the corpse repairs into the void
+    EXPECT_EQ(rm->stats().stripes_abandoned, 0u)
+        << "node " << rm->host().v << " gave up on a stripe";
+  }
+
+  const auto dead = [&witness](net::HostId h) {
+    return witness.confirmed_dead(h);
+  };
+  const auto audit = kv::audit_striped(*rig.stripe_map, *rig.codec,
+                                       rig.store_view(), shadow, dead);
+  EXPECT_EQ(audit.committed, kKeys);
+  EXPECT_EQ(audit.lost, 0u);
+  EXPECT_EQ(audit.mismatched, 0u);
+  EXPECT_EQ(audit.duplicated, 0u);
+  EXPECT_EQ(audit.incomplete, 0u);
+  EXPECT_EQ(audit.alien_units, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StripedKillDuringWrite,
+                         ::testing::Range<std::uint64_t>(4200, 4208));
 
 }  // namespace
 }  // namespace sanfault
